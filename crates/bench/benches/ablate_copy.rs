@@ -1,0 +1,56 @@
+//! A2: structured-clone isolation ablation — what the Web-Worker copy
+//! semantics cost versus shared storage, by payload size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use snap_ast::builder::*;
+use snap_ast::{Ring, Value};
+use snap_workers::{ring_map, Isolation, RingMapOptions};
+
+fn nested_items(count: usize, payload: usize) -> Vec<Value> {
+    (0..count)
+        .map(|_| Value::list((0..payload).map(|i| Value::Number(i as f64)).collect()))
+        .collect()
+}
+
+fn bench_isolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_copy_vs_share");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(15);
+    // The ring sums its input list: reads the whole payload.
+    let ring = Arc::new(Ring::reporter_with_params(
+        vec!["xs".into()],
+        combine_using(var("xs"), ring_reporter(add(empty_slot(), empty_slot()))),
+    ));
+    for payload in [10usize, 100, 1_000] {
+        let items = nested_items(64, payload);
+        for (name, isolation) in [("copy", Isolation::Copy), ("share", Isolation::Share)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, payload),
+                &items,
+                |b, items| {
+                    b.iter(|| {
+                        black_box(
+                            ring_map(
+                                ring.clone(),
+                                items.clone(),
+                                RingMapOptions {
+                                    workers: 4,
+                                    isolation,
+                                    ..Default::default()
+                                },
+                            )
+                            .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_isolation);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! A1: work-distribution ablation — dynamic claiming vs static blocks
+//! on a skewed workload, and per-call spawn vs persistent pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use snap_workers::{map_slice, Strategy, WorkerPool};
+
+/// Skewed per-item cost: every 8th item is 20× more expensive.
+fn skewed_cost(i: &u64) -> u64 {
+    let reps = if i.is_multiple_of(8) { 20_000 } else { 1_000 };
+    (0..reps).fold(*i, |acc, _| acc.wrapping_mul(31).wrapping_add(7))
+}
+
+fn bench_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_strategy_skewed");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(15);
+    let items: Vec<u64> = (0..512).collect();
+    for (name, strategy) in [("dynamic", Strategy::Dynamic), ("static", Strategy::Static)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| black_box(map_slice(&items, 4, strategy, skewed_cost)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_spawn_vs_pool(c: &mut Criterion) {
+    // Parallel.js spawns workers per call (faithful); the pool amortizes
+    // thread creation. This quantifies the gap on short jobs.
+    let mut group = c.benchmark_group("a1_spawn_vs_pool");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(15);
+    group.measurement_time(Duration::from_secs(2));
+    let items: Vec<u64> = (0..64).collect();
+    group.bench_function("per_call_spawn", |b| {
+        b.iter(|| black_box(map_slice(&items, 4, Strategy::Dynamic, |&n| n * 2)))
+    });
+    let pool = WorkerPool::new(4);
+    group.bench_function("persistent_pool", |b| {
+        b.iter(|| {
+            pool.scatter_gather(4, move |_| {
+                black_box((0..16u64).map(|n| n * 2).sum::<u64>());
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategy, bench_spawn_vs_pool);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! A3: scheduler time-slice ablation — throughput of a compute script
+//! under different slice lengths (interactive fairness vs speed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::compute_script_project;
+use snap_vm::{Vm, VmConfig};
+
+fn bench_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_time_slice");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for slice_ops in [1u32, 8, 64, 4096] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(slice_ops),
+            &slice_ops,
+            |b, &slice_ops| {
+                b.iter(|| {
+                    let mut vm = Vm::with_config(
+                        compute_script_project(2_000),
+                        VmConfig {
+                            slice_ops,
+                            ..VmConfig::default()
+                        },
+                    );
+                    vm.green_flag();
+                    black_box(vm.run_until_idle())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slice);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! A4: batch-scheduler policy ablation — FIFO vs EASY backfill on a
+//! mixed workload (wide long jobs + narrow short jobs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use snap_build::{BatchScheduler, JobSpec, Policy};
+
+fn run_workload(policy: Policy) -> (f64, u64) {
+    let mut s = BatchScheduler::new(16, policy);
+    // A stream of jobs: every 4th is wide (12 nodes), the rest narrow.
+    for i in 0..64u64 {
+        let wide = i % 4 == 0;
+        s.submit(JobSpec {
+            name: format!("job{i}"),
+            nodes: if wide { 12 } else { 2 },
+            walltime: if wide { 20 } else { 5 },
+            runtime: if wide { 15 } else { 3 },
+        });
+    }
+    let ticks = s.run_to_completion(1_000_000);
+    (s.mean_wait(), ticks)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a4_batch_policy");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    for (name, policy) in [("fifo", Policy::Fifo), ("backfill", Policy::Backfill)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| black_box(run_workload(policy)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

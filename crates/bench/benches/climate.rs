@@ -1,0 +1,46 @@
+//! E5 (Fig. 13): the climate MapReduce over the synthetic NOAA data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{averaging_reducer, climate_mapper};
+use snap_data::{generate_noaa, NoaaConfig};
+
+fn bench_climate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_climate");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for (stations, years) in [(10usize, 5u32), (50, 20)] {
+        let dataset = generate_noaa(&NoaaConfig {
+            stations,
+            years,
+            readings_per_year: 12,
+            ..NoaaConfig::default()
+        });
+        let items = dataset.temps_f_values();
+        let label = format!("{}x{}", stations, years);
+        for workers in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("workers{workers}"), &label),
+                &items,
+                |b, items| {
+                    b.iter(|| {
+                        black_box(
+                            snap_parallel::map_reduce(
+                                climate_mapper(),
+                                averaging_reducer(),
+                                items.clone(),
+                                workers,
+                            )
+                            .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_climate);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E6–E8: code-mapping throughput — template filling and whole-program
+//! emission (generation only; compilation is exercised in tests).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use snap_codegen::openmp::{averaging_reducer, climate_mapper, emit_mapreduce_openmp};
+use snap_codegen::{emit_listing5, Template};
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codegen");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(30);
+    group.bench_function("template_fill", |b| {
+        let t = Template::new("for (int <#1> = 0; <#1> < <#2>; <#1>++) { <#3> }");
+        let fills = vec!["i".to_string(), "100".to_string(), "body();".to_string()];
+        b.iter(|| black_box(t.fill(&fills)))
+    });
+    group.bench_function("emit_listing5", |b| b.iter(|| black_box(emit_listing5())));
+    let dataset: Vec<(String, f64)> = (0..1000)
+        .map(|i| (format!("ST{:03}", i % 10), 50.0 + (i % 40) as f64))
+        .collect();
+    group.bench_function("emit_openmp_mapreduce_1k_rows", |b| {
+        b.iter(|| {
+            black_box(
+                emit_mapreduce_openmp(&climate_mapper(), &averaging_reducer(), &dataset)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

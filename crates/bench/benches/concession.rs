@@ -1,0 +1,26 @@
+//! E3 (Figs. 7–10): the concession stand in both modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::run_concession;
+
+fn bench_concession(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_concession");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    for cups in [3usize, 10, 30] {
+        group.bench_with_input(
+            BenchmarkId::new("sequential", cups),
+            &cups,
+            |b, &cups| b.iter(|| black_box(run_concession(false, cups))),
+        );
+        group.bench_with_input(BenchmarkId::new("parallel", cups), &cups, |b, &cups| {
+            b.iter(|| black_box(run_concession(true, cups)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concession);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E11: inter-node scaling on the simulated cluster (cost model; real
+//! result computation). Criterion measures the *execution* cost of the
+//! simulation itself; the modeled makespans are printed by `report e11`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{number_items, times_ten_ring};
+use snap_parallel::{distributed_map, ClusterSpec};
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_distributed_sim");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(15);
+    let items = number_items(10_000);
+    for nodes in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                black_box(
+                    distributed_map(
+                        times_ten_ring(),
+                        items.clone(),
+                        &ClusterSpec {
+                            nodes,
+                            ..ClusterSpec::default()
+                        },
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

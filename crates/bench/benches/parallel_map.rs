@@ -1,0 +1,64 @@
+//! E2 (Fig. 5/6): the `parallelMap` block across worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use bench::{latency_map, number_items, times_ten_ring};
+
+fn bench_parallel_map_compute(c: &mut Criterion) {
+    // Compute-bound: honest wall time (≈ flat on a single-core host).
+    let mut group = c.benchmark_group("e2_parallel_map_compute");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(15);
+    let items = number_items(10_000);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    black_box(
+                        snap_parallel::parallel_map(
+                            times_ten_ring(),
+                            items.clone(),
+                            workers,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_map_latency(c: &mut Criterion) {
+    // Latency-bound: worker scaling shows even with one CPU (the shape
+    // the paper's Fig. 5 worker input is about).
+    let mut group = c.benchmark_group("e2_parallel_map_latency");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    let items = number_items(24);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    black_box(latency_map(
+                        times_ten_ring(),
+                        items.clone(),
+                        workers,
+                        Duration::from_millis(1),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_map_compute, bench_parallel_map_latency);
+criterion_main!(benches);

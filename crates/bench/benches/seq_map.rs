@@ -1,0 +1,30 @@
+//! E1 (Fig. 4/6): the sequential `map` block.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{number_items, times_ten_ring};
+use snap_ast::PureFn;
+
+fn bench_seq_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_seq_map");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    let f = PureFn::compile(times_ten_ring()).unwrap();
+    for n in [10usize, 100, 1_000, 10_000] {
+        let items = number_items(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
+            b.iter(|| {
+                let out: Vec<_> = items
+                    .iter()
+                    .map(|v| f.call1(black_box(v.clone())).unwrap())
+                    .collect();
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_map);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E4 (Figs. 11–12): MapReduce word count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench::{summing_reducer, word_count_mapper};
+use snap_data::generate_word_values;
+
+fn bench_wordcount(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_wordcount");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let items = generate_word_values(n, 42);
+        for workers in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("workers{workers}"), n),
+                &items,
+                |b, items| {
+                    b.iter(|| {
+                        black_box(
+                            snap_parallel::map_reduce(
+                                word_count_mapper(),
+                                summing_reducer(),
+                                items.clone(),
+                                workers,
+                            )
+                            .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wordcount);
+criterion_main!(benches);

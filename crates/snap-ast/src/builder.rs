@@ -1,0 +1,459 @@
+//! Fluent constructors — the programmatic stand-in for the drag-and-drop
+//! script editor.
+//!
+//! Where a Snap! user drags a `×` block into a `map` block's ring, a Rust
+//! user writes `map_over(ring_reporter(mul(empty_slot(), num(10.0))),
+//! make_list(...))`. Every function here returns plain AST values, so
+//! scripts read almost like the stacked blocks in the paper's figures.
+
+use crate::expr::{Attr, BinOp, Expr, RingExpr, UnOp};
+use crate::stmt::Stmt;
+
+// ---------------------------------------------------------------------
+// literal and leaf reporters
+// ---------------------------------------------------------------------
+
+/// Number literal.
+pub fn num(n: f64) -> Expr {
+    Expr::num(n)
+}
+
+/// Text literal.
+pub fn text(s: impl Into<String>) -> Expr {
+    Expr::text(s)
+}
+
+/// Boolean literal.
+pub fn boolean(b: bool) -> Expr {
+    Expr::boolean(b)
+}
+
+/// Variable reporter.
+pub fn var(name: impl Into<String>) -> Expr {
+    Expr::Var(name.into())
+}
+
+/// An empty input slot (receives ring arguments).
+pub fn empty_slot() -> Expr {
+    Expr::EmptySlot
+}
+
+/// The `list <items…>` block.
+pub fn make_list(items: Vec<Expr>) -> Expr {
+    Expr::MakeList(items)
+}
+
+/// A `list` block holding number literals (common in the paper's figures).
+pub fn number_list<I: IntoIterator<Item = f64>>(items: I) -> Expr {
+    Expr::MakeList(items.into_iter().map(num).collect())
+}
+
+/// The stage `timer` reporter.
+pub fn timer() -> Expr {
+    Expr::Attribute(Attr::Timer)
+}
+
+/// The sprite's name.
+pub fn sprite_name() -> Expr {
+    Expr::Attribute(Attr::SpriteName)
+}
+
+// ---------------------------------------------------------------------
+// operators
+// ---------------------------------------------------------------------
+
+macro_rules! binop_fns {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(a: Expr, b: Expr) -> Expr {
+                Expr::Binary(BinOp::$op, Box::new(a), Box::new(b))
+            }
+        )*
+    };
+}
+
+binop_fns! {
+    /// `<a> + <b>`
+    add => Add,
+    /// `<a> − <b>`
+    sub => Sub,
+    /// `<a> × <b>`
+    mul => Mul,
+    /// `<a> / <b>`
+    div => Div,
+    /// `<a> mod <b>`
+    modulo => Mod,
+    /// `<a> ^ <b>`
+    pow => Pow,
+    /// `<a> = <b>`
+    eq => Eq,
+    /// `<a> ≠ <b>`
+    ne => Ne,
+    /// `<a> < <b>`
+    lt => Lt,
+    /// `<a> > <b>`
+    gt => Gt,
+    /// `<a> ≤ <b>`
+    le => Le,
+    /// `<a> ≥ <b>`
+    ge => Ge,
+    /// `<a> and <b>`
+    and => And,
+    /// `<a> or <b>`
+    or => Or,
+}
+
+/// `not <a>`
+pub fn not(a: Expr) -> Expr {
+    Expr::Unary(UnOp::Not, Box::new(a))
+}
+
+/// `round <a>`
+pub fn round(a: Expr) -> Expr {
+    Expr::Unary(UnOp::Round, Box::new(a))
+}
+
+/// `sqrt of <a>`
+pub fn sqrt(a: Expr) -> Expr {
+    Expr::Unary(UnOp::Sqrt, Box::new(a))
+}
+
+/// `abs of <a>`
+pub fn abs(a: Expr) -> Expr {
+    Expr::Unary(UnOp::Abs, Box::new(a))
+}
+
+/// `floor of <a>`
+pub fn floor(a: Expr) -> Expr {
+    Expr::Unary(UnOp::Floor, Box::new(a))
+}
+
+/// `ceiling of <a>`
+pub fn ceiling(a: Expr) -> Expr {
+    Expr::Unary(UnOp::Ceil, Box::new(a))
+}
+
+// ---------------------------------------------------------------------
+// list & text reporters
+// ---------------------------------------------------------------------
+
+/// `item <i> of <list>` (1-based).
+pub fn item(index: Expr, list: Expr) -> Expr {
+    Expr::Item(Box::new(index), Box::new(list))
+}
+
+/// `length of <list>`.
+pub fn length_of(list: Expr) -> Expr {
+    Expr::LengthOf(Box::new(list))
+}
+
+/// `<list> contains <value>`.
+pub fn contains(list: Expr, value: Expr) -> Expr {
+    Expr::Contains(Box::new(list), Box::new(value))
+}
+
+/// `join <parts…>`.
+pub fn join(parts: Vec<Expr>) -> Expr {
+    Expr::Join(parts)
+}
+
+/// `split <text> by <delimiter>`.
+pub fn split(text: Expr, delimiter: Expr) -> Expr {
+    Expr::Split(Box::new(text), Box::new(delimiter))
+}
+
+/// `numbers from <a> to <b>`.
+pub fn numbers_from_to(a: Expr, b: Expr) -> Expr {
+    Expr::NumbersFromTo(Box::new(a), Box::new(b))
+}
+
+/// `pick random <a> to <b>`.
+pub fn pick_random(a: Expr, b: Expr) -> Expr {
+    Expr::PickRandom(Box::new(a), Box::new(b))
+}
+
+// ---------------------------------------------------------------------
+// rings and higher-order blocks
+// ---------------------------------------------------------------------
+
+/// A gray ring around a reporter with implicit empty-slot parameters.
+pub fn ring_reporter(expr: Expr) -> Expr {
+    Expr::Ring(RingExpr::reporter(expr))
+}
+
+/// A gray ring around a reporter with named parameters.
+pub fn ring_reporter_with(params: Vec<&str>, expr: Expr) -> Expr {
+    Expr::Ring(RingExpr::reporter_with_params(
+        params.into_iter().map(String::from).collect(),
+        expr,
+    ))
+}
+
+/// A gray ring around a predicate.
+pub fn ring_predicate(expr: Expr) -> Expr {
+    Expr::Ring(RingExpr::predicate(expr))
+}
+
+/// A gray ring around a script.
+pub fn ring_command(body: Vec<Stmt>) -> Expr {
+    Expr::Ring(RingExpr::command(body))
+}
+
+/// A gray ring around a script with named parameters.
+pub fn ring_command_with(params: Vec<&str>, body: Vec<Stmt>) -> Expr {
+    Expr::Ring(RingExpr::command_with_params(
+        params.into_iter().map(String::from).collect(),
+        body,
+    ))
+}
+
+/// `call <ring> with inputs <args…>`.
+pub fn call_ring(ring: Expr, args: Vec<Expr>) -> Expr {
+    Expr::CallRing(Box::new(ring), args)
+}
+
+/// Call a custom reporter block.
+pub fn call_custom(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+    Expr::CallCustom(name.into(), args)
+}
+
+/// Snap!'s sequential `map <ring> over <list>` (paper Fig. 4).
+pub fn map_over(ring: Expr, list: Expr) -> Expr {
+    Expr::Map {
+        ring: Box::new(ring),
+        list: Box::new(list),
+    }
+}
+
+/// `keep items such that <pred> from <list>`.
+pub fn keep_from(pred: Expr, list: Expr) -> Expr {
+    Expr::Keep {
+        pred: Box::new(pred),
+        list: Box::new(list),
+    }
+}
+
+/// `combine <list> using <ring>`.
+pub fn combine_using(list: Expr, ring: Expr) -> Expr {
+    Expr::Combine {
+        list: Box::new(list),
+        ring: Box::new(ring),
+    }
+}
+
+/// The paper's `parallelMap <ring> over <list>` with the default worker
+/// count (paper Fig. 5).
+pub fn parallel_map_over(ring: Expr, list: Expr) -> Expr {
+    Expr::ParallelMap {
+        ring: Box::new(ring),
+        list: Box::new(list),
+        workers: None,
+    }
+}
+
+/// `parallelMap` with an explicit worker-count input (the slot revealed
+/// by the right-facing arrow).
+pub fn parallel_map_with_workers(ring: Expr, list: Expr, workers: Expr) -> Expr {
+    Expr::ParallelMap {
+        ring: Box::new(ring),
+        list: Box::new(list),
+        workers: Some(Box::new(workers)),
+    }
+}
+
+/// The paper's `mapReduce <map fn> <reduce fn> over <list>` (Fig. 13).
+pub fn map_reduce(mapper: Expr, reducer: Expr, list: Expr) -> Expr {
+    Expr::MapReduce {
+        mapper: Box::new(mapper),
+        reducer: Box::new(reducer),
+        list: Box::new(list),
+    }
+}
+
+// ---------------------------------------------------------------------
+// statements
+// ---------------------------------------------------------------------
+
+/// `say <text>`.
+pub fn say(what: Expr) -> Stmt {
+    Stmt::Say(what)
+}
+
+/// `set <var> to <value>`.
+pub fn set_var(name: impl Into<String>, value: Expr) -> Stmt {
+    Stmt::SetVar(name.into(), value)
+}
+
+/// `change <var> by <delta>`.
+pub fn change_var(name: impl Into<String>, delta: Expr) -> Stmt {
+    Stmt::ChangeVar(name.into(), delta)
+}
+
+/// `script variables <names…>`.
+pub fn script_variables(names: Vec<&str>) -> Stmt {
+    Stmt::DeclareLocals(names.into_iter().map(String::from).collect())
+}
+
+/// `if <cond> { … }`.
+pub fn if_then(cond: Expr, then: Vec<Stmt>) -> Stmt {
+    Stmt::If(cond, then)
+}
+
+/// `if <cond> { … } else { … }`.
+pub fn if_else(cond: Expr, then: Vec<Stmt>, otherwise: Vec<Stmt>) -> Stmt {
+    Stmt::IfElse(cond, then, otherwise)
+}
+
+/// `repeat <n> { … }`.
+pub fn repeat(times: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::Repeat(times, body)
+}
+
+/// `forever { … }`.
+pub fn forever(body: Vec<Stmt>) -> Stmt {
+    Stmt::Forever(body)
+}
+
+/// `repeat until <cond> { … }`.
+pub fn repeat_until(cond: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::RepeatUntil(cond, body)
+}
+
+/// `for <var> = <from> to <to> { … }`.
+pub fn for_loop(var: impl Into<String>, from: Expr, to: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For {
+        var: var.into(),
+        from,
+        to,
+        body,
+    }
+}
+
+/// Sequential `for each <var> in <list> { … }`.
+pub fn for_each(var: impl Into<String>, list: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::ForEach {
+        var: var.into(),
+        list,
+        body,
+    }
+}
+
+/// The paper's `parallelForEach` in **parallel mode** with the default
+/// level of parallelism (= list length, Fig. 8a).
+pub fn parallel_for_each(var: impl Into<String>, list: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::ParallelForEach {
+        var: var.into(),
+        list,
+        body,
+        parallelism: None,
+        parallel: true,
+    }
+}
+
+/// `parallelForEach` in parallel mode with an explicit parallelism input.
+pub fn parallel_for_each_n(
+    var: impl Into<String>,
+    list: Expr,
+    parallelism: Expr,
+    body: Vec<Stmt>,
+) -> Stmt {
+    Stmt::ParallelForEach {
+        var: var.into(),
+        list,
+        body,
+        parallelism: Some(parallelism),
+        parallel: true,
+    }
+}
+
+/// `parallelForEach` with the parallel input box collapsed — sequential
+/// mode (Fig. 8b).
+pub fn parallel_for_each_sequential(
+    var: impl Into<String>,
+    list: Expr,
+    body: Vec<Stmt>,
+) -> Stmt {
+    Stmt::ParallelForEach {
+        var: var.into(),
+        list,
+        body,
+        parallelism: None,
+        parallel: false,
+    }
+}
+
+/// `wait <n> timesteps`.
+pub fn wait(timesteps: Expr) -> Stmt {
+    Stmt::Wait(timesteps)
+}
+
+/// `wait until <cond>`.
+pub fn wait_until(cond: Expr) -> Stmt {
+    Stmt::WaitUntil(cond)
+}
+
+/// `broadcast <message>`.
+pub fn broadcast(message: impl Into<String>) -> Stmt {
+    Stmt::Broadcast(text(message))
+}
+
+/// `broadcast <message> and wait`.
+pub fn broadcast_and_wait(message: impl Into<String>) -> Stmt {
+    Stmt::BroadcastAndWait(text(message))
+}
+
+/// `create a clone of myself`.
+pub fn clone_myself() -> Stmt {
+    Stmt::CreateCloneOf(text("myself"))
+}
+
+/// `report <value>`.
+pub fn report(value: Expr) -> Stmt {
+    Stmt::Report(value)
+}
+
+/// `add <value> to <list>`.
+pub fn add_to_list(item: Expr, list: Expr) -> Stmt {
+    Stmt::AddToList { item, list }
+}
+
+/// `move <n> steps`.
+pub fn move_steps(n: Expr) -> Stmt {
+    Stmt::Move(n)
+}
+
+/// `warp { … }` — run atomically.
+pub fn warp(body: Vec<Stmt>) -> Stmt {
+    Stmt::Warp(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig4_reads_like_the_blocks() {
+        // map (( ) × 10) over (list 3 7 8)
+        let blocks = map_over(
+            ring_reporter(mul(empty_slot(), num(10.0))),
+            number_list([3.0, 7.0, 8.0]),
+        );
+        // map + ring + × + slot + 10 + list-block + 3 item literals = 9
+        assert_eq!(blocks.block_count(), 9);
+    }
+
+    #[test]
+    fn parallel_builders_set_modes() {
+        let p = parallel_for_each("cup", var("cups"), vec![]);
+        assert!(matches!(p, Stmt::ParallelForEach { parallel: true, .. }));
+        let s = parallel_for_each_sequential("cup", var("cups"), vec![]);
+        assert!(matches!(
+            s,
+            Stmt::ParallelForEach {
+                parallel: false,
+                ..
+            }
+        ));
+    }
+}

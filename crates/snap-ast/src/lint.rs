@@ -1,0 +1,629 @@
+//! A static project linter.
+//!
+//! The paper's whole premise is novice programmers; the block editor
+//! prevents syntax errors, but a project can still reference variables
+//! that don't exist, call custom blocks with the wrong number of inputs,
+//! or stack blocks after a `forever` where they can never run. This
+//! linter catches those before the green flag does — the batch-oriented
+//! analogue of Snap!'s red error halos.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::expr::{Expr, RingExprBody};
+use crate::script::{BlockKind, CustomBlock, Script};
+use crate::sprite::Project;
+use crate::stmt::Stmt;
+
+/// What a lint found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintKind {
+    /// A variable reporter with no visible binding anywhere.
+    UndefinedVariable(String),
+    /// A custom-block call with no matching definition.
+    UnknownCustomBlock(String),
+    /// A custom-block call with the wrong number of inputs.
+    CustomBlockArity {
+        /// The block's name.
+        name: String,
+        /// Parameters declared.
+        expected: usize,
+        /// Inputs supplied.
+        got: usize,
+    },
+    /// Statements stacked under a `forever` (or after `stop this
+    /// script`) — they can never run.
+    UnreachableCode,
+    /// A loop with an empty body.
+    EmptyLoopBody,
+    /// `report` in a script or custom command, where nothing receives it.
+    ReportOutsideReporter,
+    /// A custom reporter whose body can finish without reporting.
+    MissingReport(String),
+    /// An empty slot outside any ring — it evaluates to nothing.
+    EmptySlotOutsideRing,
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintKind::UndefinedVariable(name) => {
+                write!(f, "variable '{name}' is not defined anywhere")
+            }
+            LintKind::UnknownCustomBlock(name) => {
+                write!(f, "custom block '{name}' has no definition")
+            }
+            LintKind::CustomBlockArity {
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "custom block '{name}' takes {expected} input(s) but is given {got}"
+            ),
+            LintKind::UnreachableCode => write!(f, "blocks after this point can never run"),
+            LintKind::EmptyLoopBody => write!(f, "this loop has an empty body"),
+            LintKind::ReportOutsideReporter => {
+                write!(f, "'report' here has nothing to report to")
+            }
+            LintKind::MissingReport(name) => {
+                write!(f, "custom reporter '{name}' can finish without reporting")
+            }
+            LintKind::EmptySlotOutsideRing => {
+                write!(f, "an empty input slot outside a ring evaluates to nothing")
+            }
+        }
+    }
+}
+
+/// One finding, with where it was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Sprite name, `"stage"`, or `custom block <name>`.
+    pub location: String,
+    /// The finding.
+    pub kind: LintKind,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.location, self.kind)
+    }
+}
+
+/// Lint a whole project.
+pub fn lint_project(project: &Project) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let globals: HashSet<&str> = project.globals.iter().map(|(n, _)| n.as_str()).collect();
+    let global_blocks: Vec<&CustomBlock> = project.global_blocks.iter().collect();
+
+    // Stage scripts.
+    for script in &project.stage_scripts {
+        lint_script(
+            script,
+            &globals,
+            &HashSet::new(),
+            &global_blocks,
+            "stage",
+            &mut lints,
+        );
+    }
+    // Global custom blocks.
+    for block in &project.global_blocks {
+        lint_custom_block(block, &globals, &HashSet::new(), &global_blocks, &mut lints);
+    }
+    // Sprites.
+    for sprite in &project.sprites {
+        let sprite_vars: HashSet<&str> =
+            sprite.variables.iter().map(|(n, _)| n.as_str()).collect();
+        let mut visible_blocks = global_blocks.clone();
+        visible_blocks.extend(sprite.custom_blocks.iter());
+        for script in &sprite.scripts {
+            lint_script(
+                script,
+                &globals,
+                &sprite_vars,
+                &visible_blocks,
+                &sprite.name,
+                &mut lints,
+            );
+        }
+        for block in &sprite.custom_blocks {
+            lint_custom_block(block, &globals, &sprite_vars, &visible_blocks, &mut lints);
+        }
+    }
+    lints
+}
+
+fn lint_custom_block(
+    block: &CustomBlock,
+    globals: &HashSet<&str>,
+    sprite_vars: &HashSet<&str>,
+    blocks: &[&CustomBlock],
+    lints: &mut Vec<Lint>,
+) {
+    let location = format!("custom block {}", block.name);
+    let mut scope: Vec<String> = block.params.clone();
+    let in_reporter = block.kind != BlockKind::Command;
+    walk_stmts(
+        &block.body,
+        &mut scope,
+        globals,
+        sprite_vars,
+        blocks,
+        in_reporter,
+        &location,
+        lints,
+    );
+    if in_reporter && !always_reports(&block.body) {
+        lints.push(Lint {
+            location,
+            kind: LintKind::MissingReport(block.name.clone()),
+        });
+    }
+}
+
+fn lint_script(
+    script: &Script,
+    globals: &HashSet<&str>,
+    sprite_vars: &HashSet<&str>,
+    blocks: &[&CustomBlock],
+    location: &str,
+    lints: &mut Vec<Lint>,
+) {
+    let mut scope = Vec::new();
+    walk_stmts(
+        &script.body,
+        &mut scope,
+        globals,
+        sprite_vars,
+        blocks,
+        false,
+        location,
+        lints,
+    );
+}
+
+/// Conservative "every path reports" check.
+fn always_reports(stmts: &[Stmt]) -> bool {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Report(_) => return true,
+            Stmt::IfElse(_, t, e) => {
+                if always_reports(t) && always_reports(e) {
+                    return true;
+                }
+            }
+            Stmt::Forever(_) => return true, // never falls through
+            _ => {}
+        }
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_stmts(
+    stmts: &[Stmt],
+    scope: &mut Vec<String>,
+    globals: &HashSet<&str>,
+    sprite_vars: &HashSet<&str>,
+    blocks: &[&CustomBlock],
+    in_reporter: bool,
+    location: &str,
+    lints: &mut Vec<Lint>,
+) {
+    let depth = scope.len();
+    for (i, stmt) in stmts.iter().enumerate() {
+        // This statement's own expressions (bodies are walked below,
+        // with their scopes).
+        stmt.visit_own_exprs(&mut |e| {
+            walk_expr(e, scope, globals, sprite_vars, blocks, location, lints);
+        });
+
+        let subscope =
+            |body: &[Stmt], extra: Option<&str>, scope: &mut Vec<String>, lints: &mut Vec<Lint>| {
+                let before = scope.len();
+                if let Some(name) = extra {
+                    scope.push(name.to_owned());
+                }
+                walk_stmts(
+                    body,
+                    scope,
+                    globals,
+                    sprite_vars,
+                    blocks,
+                    in_reporter,
+                    location,
+                    lints,
+                );
+                scope.truncate(before);
+            };
+
+        match stmt {
+            Stmt::SetVar(name, _) | Stmt::ChangeVar(name, _) => {
+                // Assignment creates the variable if missing (documented
+                // VM behaviour), so record it as defined from here on.
+                if !scope.contains(name) {
+                    scope.push(name.clone());
+                }
+            }
+            Stmt::DeclareLocals(names) => scope.extend(names.iter().cloned()),
+            Stmt::If(_, body) | Stmt::Repeat(_, body) | Stmt::RepeatUntil(_, body) => {
+                if body.is_empty() && !matches!(stmt, Stmt::If(_, _)) {
+                    lints.push(Lint {
+                        location: location.to_owned(),
+                        kind: LintKind::EmptyLoopBody,
+                    });
+                }
+                subscope(body, None, scope, lints);
+            }
+            Stmt::IfElse(_, t, e) => {
+                subscope(t, None, scope, lints);
+                subscope(e, None, scope, lints);
+            }
+            Stmt::Warp(body) => subscope(body, None, scope, lints),
+            Stmt::Forever(body) => {
+                if body.is_empty() {
+                    lints.push(Lint {
+                        location: location.to_owned(),
+                        kind: LintKind::EmptyLoopBody,
+                    });
+                }
+                subscope(body, None, scope, lints);
+                if i + 1 < stmts.len() {
+                    lints.push(Lint {
+                        location: location.to_owned(),
+                        kind: LintKind::UnreachableCode,
+                    });
+                }
+            }
+            Stmt::For { var, body, .. }
+            | Stmt::ForEach { var, body, .. }
+            | Stmt::ParallelForEach { var, body, .. } => {
+                if body.is_empty() {
+                    lints.push(Lint {
+                        location: location.to_owned(),
+                        kind: LintKind::EmptyLoopBody,
+                    });
+                }
+                subscope(body, Some(var), scope, lints);
+            }
+            Stmt::CallCustom(name, args) => {
+                match blocks.iter().find(|b| &b.name == name) {
+                    None => lints.push(Lint {
+                        location: location.to_owned(),
+                        kind: LintKind::UnknownCustomBlock(name.clone()),
+                    }),
+                    Some(block) if block.params.len() != args.len() => lints.push(Lint {
+                        location: location.to_owned(),
+                        kind: LintKind::CustomBlockArity {
+                            name: name.clone(),
+                            expected: block.params.len(),
+                            got: args.len(),
+                        },
+                    }),
+                    Some(_) => {}
+                }
+            }
+            Stmt::Report(_) if !in_reporter => lints.push(Lint {
+                location: location.to_owned(),
+                kind: LintKind::ReportOutsideReporter,
+            }),
+            Stmt::Stop(crate::stmt::StopKind::ThisScript) => {
+                if i + 1 < stmts.len() {
+                    lints.push(Lint {
+                        location: location.to_owned(),
+                        kind: LintKind::UnreachableCode,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    scope.truncate(depth);
+}
+
+fn walk_expr(
+    e: &Expr,
+    scope: &[String],
+    globals: &HashSet<&str>,
+    sprite_vars: &HashSet<&str>,
+    blocks: &[&CustomBlock],
+    location: &str,
+    lints: &mut Vec<Lint>,
+) {
+    match e {
+        Expr::Var(name) => {
+            let known = scope.iter().any(|s| s == name)
+                || globals.contains(name.as_str())
+                || sprite_vars.contains(name.as_str());
+            if !known {
+                lints.push(Lint {
+                    location: location.to_owned(),
+                    kind: LintKind::UndefinedVariable(name.clone()),
+                });
+            }
+        }
+        Expr::EmptySlot => lints.push(Lint {
+            location: location.to_owned(),
+            kind: LintKind::EmptySlotOutsideRing,
+        }),
+        Expr::CallCustom(name, args) => {
+            match blocks.iter().find(|b| &b.name == name) {
+                None => lints.push(Lint {
+                    location: location.to_owned(),
+                    kind: LintKind::UnknownCustomBlock(name.clone()),
+                }),
+                Some(block) if block.params.len() != args.len() => lints.push(Lint {
+                    location: location.to_owned(),
+                    kind: LintKind::CustomBlockArity {
+                        name: name.clone(),
+                        expected: block.params.len(),
+                        got: args.len(),
+                    },
+                }),
+                Some(_) => {}
+            }
+            for arg in args {
+                walk_expr(arg, scope, globals, sprite_vars, blocks, location, lints);
+            }
+        }
+        Expr::Ring(ring) => {
+            // A ring opens a new scope with its parameters; its empty
+            // slots are legitimate. Variables it references must still
+            // resolve (against the scope at ring creation).
+            let mut ring_scope: Vec<String> = scope.to_vec();
+            ring_scope.extend(ring.params.iter().cloned());
+            match &ring.body {
+                RingExprBody::Reporter(body) | RingExprBody::Predicate(body) => {
+                    walk_ring_expr(body, &ring_scope, globals, sprite_vars, blocks, location, lints);
+                }
+                RingExprBody::Command(stmts) => {
+                    // `report` inside a command ring legitimately stops
+                    // the block, so treat it as a reporting context.
+                    let mut inner = ring_scope;
+                    walk_stmts(
+                        stmts,
+                        &mut inner,
+                        globals,
+                        sprite_vars,
+                        blocks,
+                        true,
+                        location,
+                        lints,
+                    );
+                }
+            }
+        }
+        // Everything else: recurse into direct children, but let the
+        // generic visitor skip Var/EmptySlot handled above.
+        Expr::Binary(_, a, b)
+        | Expr::Item(a, b)
+        | Expr::Contains(a, b)
+        | Expr::Split(a, b)
+        | Expr::LetterOf(a, b)
+        | Expr::PickRandom(a, b)
+        | Expr::NumbersFromTo(a, b) => {
+            walk_expr(a, scope, globals, sprite_vars, blocks, location, lints);
+            walk_expr(b, scope, globals, sprite_vars, blocks, location, lints);
+        }
+        Expr::Unary(_, a) | Expr::LengthOf(a) | Expr::TextLength(a) => {
+            walk_expr(a, scope, globals, sprite_vars, blocks, location, lints);
+        }
+        Expr::MakeList(items) | Expr::Join(items) => {
+            for item in items {
+                walk_expr(item, scope, globals, sprite_vars, blocks, location, lints);
+            }
+        }
+        Expr::CallRing(r, args) => {
+            walk_expr(r, scope, globals, sprite_vars, blocks, location, lints);
+            for arg in args {
+                walk_expr(arg, scope, globals, sprite_vars, blocks, location, lints);
+            }
+        }
+        Expr::Map { ring, list } | Expr::Keep { pred: ring, list } => {
+            walk_expr(ring, scope, globals, sprite_vars, blocks, location, lints);
+            walk_expr(list, scope, globals, sprite_vars, blocks, location, lints);
+        }
+        Expr::Combine { list, ring } => {
+            walk_expr(list, scope, globals, sprite_vars, blocks, location, lints);
+            walk_expr(ring, scope, globals, sprite_vars, blocks, location, lints);
+        }
+        Expr::ParallelMap {
+            ring,
+            list,
+            workers,
+        } => {
+            walk_expr(ring, scope, globals, sprite_vars, blocks, location, lints);
+            walk_expr(list, scope, globals, sprite_vars, blocks, location, lints);
+            if let Some(w) = workers {
+                walk_expr(w, scope, globals, sprite_vars, blocks, location, lints);
+            }
+        }
+        Expr::MapReduce {
+            mapper,
+            reducer,
+            list,
+        } => {
+            walk_expr(mapper, scope, globals, sprite_vars, blocks, location, lints);
+            walk_expr(reducer, scope, globals, sprite_vars, blocks, location, lints);
+            walk_expr(list, scope, globals, sprite_vars, blocks, location, lints);
+        }
+        Expr::Literal(_) | Expr::Attribute(_) => {}
+    }
+}
+
+/// Inside a ring body the empty slots are parameters, not mistakes.
+#[allow(clippy::too_many_arguments)]
+fn walk_ring_expr(
+    e: &Expr,
+    scope: &[String],
+    globals: &HashSet<&str>,
+    sprite_vars: &HashSet<&str>,
+    blocks: &[&CustomBlock],
+    location: &str,
+    lints: &mut Vec<Lint>,
+) {
+    // Substitute own-level empty slots away, then reuse the main walker
+    // (nested rings keep their own slots and are handled recursively).
+    let sanitized = e.map_own_empty_slots(&mut |_| Expr::Literal(crate::Constant::Nothing));
+    walk_expr(
+        &sanitized, scope, globals, sprite_vars, blocks, location, lints,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::sprite::SpriteDef;
+    use crate::Constant;
+
+    fn project_with_script(body: Vec<Stmt>) -> Project {
+        Project::new("t").with_sprite(SpriteDef::new("S").with_script(Script::on_green_flag(body)))
+    }
+
+    fn kinds(project: &Project) -> Vec<LintKind> {
+        lint_project(project).into_iter().map(|l| l.kind).collect()
+    }
+
+    #[test]
+    fn clean_project_has_no_lints() {
+        let project = Project::new("t")
+            .with_global("score", Constant::Number(0.0))
+            .with_sprite(SpriteDef::new("S").with_script(Script::on_green_flag(vec![
+                set_var("x", num(1.0)),
+                say(add(var("x"), var("score"))),
+                repeat(num(3.0), vec![change_var("x", num(1.0))]),
+            ])));
+        assert!(kinds(&project).is_empty(), "{:?}", lint_project(&project));
+    }
+
+    #[test]
+    fn undefined_variable_is_caught() {
+        let project = project_with_script(vec![say(var("ghost"))]);
+        assert_eq!(kinds(&project), vec![LintKind::UndefinedVariable("ghost".into())]);
+    }
+
+    #[test]
+    fn assignment_defines_for_later_statements() {
+        let project = project_with_script(vec![set_var("x", num(1.0)), say(var("x"))]);
+        assert!(kinds(&project).is_empty());
+    }
+
+    #[test]
+    fn loop_variables_are_in_scope_inside_only() {
+        let ok = project_with_script(vec![for_each(
+            "w",
+            number_list([1.0]),
+            vec![say(var("w"))],
+        )]);
+        assert!(kinds(&ok).is_empty());
+        let bad = project_with_script(vec![
+            for_each("w", number_list([1.0]), vec![say(var("w"))]),
+            say(var("w")),
+        ]);
+        assert_eq!(kinds(&bad), vec![LintKind::UndefinedVariable("w".into())]);
+    }
+
+    #[test]
+    fn ring_params_and_slots_are_fine() {
+        let project = project_with_script(vec![say(map_over(
+            ring_reporter(mul(empty_slot(), num(10.0))),
+            number_list([1.0, 2.0]),
+        ))]);
+        assert!(kinds(&project).is_empty());
+    }
+
+    #[test]
+    fn empty_slot_outside_ring_is_flagged() {
+        let project = project_with_script(vec![say(add(empty_slot(), num(1.0)))]);
+        assert_eq!(kinds(&project), vec![LintKind::EmptySlotOutsideRing]);
+    }
+
+    #[test]
+    fn unknown_custom_block_and_arity() {
+        let project = Project::new("t")
+            .with_global_block(CustomBlock::reporter_expr(
+                "double",
+                vec!["n".into()],
+                add(var("n"), var("n")),
+            ))
+            .with_sprite(SpriteDef::new("S").with_script(Script::on_green_flag(vec![
+                say(call_custom("nope", vec![])),
+                say(call_custom("double", vec![num(1.0), num(2.0)])),
+            ])));
+        let found = kinds(&project);
+        assert!(found.contains(&LintKind::UnknownCustomBlock("nope".into())));
+        assert!(found.contains(&LintKind::CustomBlockArity {
+            name: "double".into(),
+            expected: 1,
+            got: 2
+        }));
+    }
+
+    #[test]
+    fn unreachable_after_forever() {
+        let project = project_with_script(vec![
+            forever(vec![say(text("tick"))]),
+            say(text("never")),
+        ]);
+        assert_eq!(kinds(&project), vec![LintKind::UnreachableCode]);
+    }
+
+    #[test]
+    fn empty_loop_bodies_are_flagged() {
+        let project = project_with_script(vec![repeat(num(3.0), vec![]), forever(vec![])]);
+        let found = kinds(&project);
+        assert_eq!(
+            found.iter().filter(|k| **k == LintKind::EmptyLoopBody).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn reporter_that_may_not_report_is_flagged() {
+        let project = Project::new("t").with_global_block(CustomBlock::reporter(
+            "maybe",
+            vec!["n".into()],
+            vec![if_then(gt(var("n"), num(0.0)), vec![report(var("n"))])],
+        ));
+        assert!(kinds(&project).contains(&LintKind::MissingReport("maybe".into())));
+        // Both branches reporting is fine.
+        let ok = Project::new("t").with_global_block(CustomBlock::reporter(
+            "sign",
+            vec!["n".into()],
+            vec![if_else(
+                gt(var("n"), num(0.0)),
+                vec![report(num(1.0))],
+                vec![report(num(-1.0))],
+            )],
+        ));
+        assert!(kinds(&ok).is_empty());
+    }
+
+    #[test]
+    fn report_in_plain_script_is_flagged() {
+        let project = project_with_script(vec![report(num(1.0))]);
+        assert_eq!(kinds(&project), vec![LintKind::ReportOutsideReporter]);
+    }
+
+    #[test]
+    fn sprite_locals_shadow_nothing_but_resolve() {
+        let project = Project::new("t").with_sprite(
+            SpriteDef::new("S")
+                .with_variable("lives", Constant::Number(3.0))
+                .with_script(Script::on_green_flag(vec![say(var("lives"))])),
+        );
+        assert!(kinds(&project).is_empty());
+    }
+
+    #[test]
+    fn lints_display_readably() {
+        let lint = Lint {
+            location: "S".into(),
+            kind: LintKind::UndefinedVariable("x".into()),
+        };
+        assert_eq!(lint.to_string(), "[S] variable 'x' is not defined anywhere");
+    }
+}

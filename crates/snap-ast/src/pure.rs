@@ -1,0 +1,556 @@
+//! Pure evaluation of reporter rings — the worker-side function compiler.
+//!
+//! The paper's `parallelMap` implementation (Listing 2) extracts the
+//! user's ringed reporter from the stack frame, renders it to JavaScript
+//! with `mappedCode()`, and wraps it in `new Function(...)` so that each
+//! Web Worker can evaluate it *without* the interactive Snap! runtime.
+//!
+//! [`PureFn`] is the Rust analogue: it checks that a ring's body uses only
+//! *pure* blocks (no stage, no sprite motion, no randomness, no custom
+//! blocks), then evaluates it re-entrantly against explicit argument
+//! bindings. A `PureFn` is `Send + Sync`, so worker threads can share it.
+
+use std::sync::Arc;
+
+use crate::error::EvalError;
+use crate::expr::{BinOp, Expr, RingExprBody, UnOp};
+use crate::ring::{Ring, RingBody};
+use crate::value::{List, Value};
+
+/// Check that `expr` only uses blocks a worker can evaluate without the
+/// VM. Returns the name of the first offending block on failure.
+pub fn check_pure(expr: &Expr) -> Result<(), &'static str> {
+    let mut offender: Option<&'static str> = None;
+    expr.visit(&mut |e| {
+        if offender.is_some() {
+            return;
+        }
+        offender = match e {
+            Expr::PickRandom(_, _) => Some("pick random"),
+            Expr::Attribute(_) => Some("attribute reporter"),
+            Expr::CallCustom(_, _) => Some("custom block call"),
+            _ => None,
+        };
+    });
+    match offender {
+        Some(block) => Err(block),
+        None => Ok(()),
+    }
+}
+
+/// A compiled, thread-safe view of a reporter ring.
+///
+/// Construction fails unless the ring is a reporter/predicate whose body
+/// passes [`check_pure`].
+#[derive(Clone)]
+pub struct PureFn {
+    ring: Arc<Ring>,
+}
+
+impl PureFn {
+    /// Compile a ring into a callable pure function.
+    pub fn compile(ring: Arc<Ring>) -> Result<PureFn, EvalError> {
+        let expr = match &ring.body {
+            RingBody::Reporter(e) | RingBody::Predicate(e) => e,
+            RingBody::Command(_) => return Err(EvalError::NotAReporter),
+        };
+        check_pure(expr).map_err(EvalError::NotPure)?;
+        Ok(PureFn { ring })
+    }
+
+    /// The underlying ring.
+    pub fn ring(&self) -> &Arc<Ring> {
+        &self.ring
+    }
+
+    /// Apply the function to `args`.
+    ///
+    /// Binding rules match Snap!: named formal parameters bind
+    /// positionally; with no formals, **empty slots** receive the
+    /// arguments left to right, and when exactly one argument is supplied
+    /// it fills *every* empty slot (this is how `map (( ) × 10)` works).
+    pub fn call(&self, args: &[Value]) -> Result<Value, EvalError> {
+        let expr = match &self.ring.body {
+            RingBody::Reporter(e) | RingBody::Predicate(e) => e,
+            RingBody::Command(_) => return Err(EvalError::NotAReporter),
+        };
+        let mut ctx = PureCtx::for_ring(&self.ring, args)?;
+        ctx.eval(expr)
+    }
+
+    /// Apply to a single argument (the common `map` case).
+    pub fn call1(&self, arg: Value) -> Result<Value, EvalError> {
+        self.call(std::slice::from_ref(&arg))
+    }
+}
+
+/// Evaluation context: visible bindings plus the empty-slot argument
+/// cursor.
+struct PureCtx<'a> {
+    /// (name, value) bindings, innermost last.
+    bindings: Vec<(String, Value)>,
+    /// Captured environment of the ring being applied.
+    captured: &'a [(String, Value)],
+    /// Positional arguments feeding empty slots.
+    slot_args: &'a [Value],
+    /// Next slot argument to consume.
+    slot_cursor: usize,
+}
+
+impl<'a> PureCtx<'a> {
+    fn for_ring(ring: &'a Ring, args: &'a [Value]) -> Result<PureCtx<'a>, EvalError> {
+        let mut bindings = Vec::new();
+        if !ring.params.is_empty() {
+            if ring.params.len() != args.len() {
+                return Err(EvalError::ArityMismatch {
+                    expected: ring.params.len(),
+                    got: args.len(),
+                });
+            }
+            for (name, value) in ring.params.iter().zip(args) {
+                bindings.push((name.clone(), value.clone()));
+            }
+        }
+        Ok(PureCtx {
+            bindings,
+            captured: &ring.captured,
+            slot_args: args,
+            slot_cursor: 0,
+        })
+    }
+
+    fn lookup(&self, name: &str) -> Result<Value, EvalError> {
+        if let Some((_, v)) = self.bindings.iter().rev().find(|(n, _)| n == name) {
+            return Ok(v.clone());
+        }
+        if let Some(v) = self
+            .captured
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+        {
+            return Ok(v.clone());
+        }
+        Err(EvalError::UnboundVariable(name.to_owned()))
+    }
+
+    fn next_slot_arg(&mut self) -> Value {
+        if self.slot_args.is_empty() {
+            return Value::Nothing;
+        }
+        if self.slot_args.len() == 1 {
+            // Snap!: a single argument fills every empty slot.
+            return self.slot_args[0].clone();
+        }
+        let v = self
+            .slot_args
+            .get(self.slot_cursor)
+            .cloned()
+            .unwrap_or(Value::Nothing);
+        self.slot_cursor += 1;
+        v
+    }
+
+    fn expect_list(v: Value) -> Result<List, EvalError> {
+        match v {
+            Value::List(l) => Ok(l),
+            other => Err(EvalError::TypeMismatch {
+                expected: "list",
+                got: other.to_display_string(),
+            }),
+        }
+    }
+
+    fn eval(&mut self, expr: &Expr) -> Result<Value, EvalError> {
+        match expr {
+            Expr::Literal(c) => Ok(c.to_value()),
+            Expr::MakeList(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.eval(item)?);
+                }
+                Ok(Value::list(out))
+            }
+            Expr::Var(name) => self.lookup(name),
+            Expr::EmptySlot => Ok(self.next_slot_arg()),
+            Expr::Binary(op, a, b) => {
+                let a = self.eval(a)?;
+                let b = self.eval(b)?;
+                Ok(eval_binop(*op, &a, &b))
+            }
+            Expr::Unary(op, a) => {
+                let a = self.eval(a)?;
+                Ok(eval_unop(*op, &a))
+            }
+            Expr::Item(index, list) => {
+                let idx = self.eval(index)?.to_number();
+                let list = Self::expect_list(self.eval(list)?)?;
+                let i = idx as usize;
+                list.item(i).ok_or(EvalError::IndexOutOfRange {
+                    index: i,
+                    len: list.len(),
+                })
+            }
+            Expr::LengthOf(list) => {
+                let list = Self::expect_list(self.eval(list)?)?;
+                Ok(Value::Number(list.len() as f64))
+            }
+            Expr::Contains(list, value) => {
+                let list = Self::expect_list(self.eval(list)?)?;
+                let value = self.eval(value)?;
+                Ok(Value::Bool(list.contains(&value)))
+            }
+            Expr::Join(parts) => {
+                let mut out = String::new();
+                for part in parts {
+                    out.push_str(&self.eval(part)?.to_display_string());
+                }
+                Ok(Value::Text(out))
+            }
+            Expr::Split(text, delim) => {
+                let text = self.eval(text)?.to_display_string();
+                let delim = self.eval(delim)?.to_display_string();
+                let items: Vec<Value> = if delim.is_empty() {
+                    text.chars().map(|c| Value::Text(c.to_string())).collect()
+                } else {
+                    text.split(&delim)
+                        .filter(|s| !s.is_empty())
+                        .map(|s| Value::Text(s.to_owned()))
+                        .collect()
+                };
+                Ok(Value::list(items))
+            }
+            Expr::LetterOf(index, text) => {
+                let i = self.eval(index)?.to_number() as usize;
+                let text = self.eval(text)?.to_display_string();
+                let letter = text
+                    .chars()
+                    .nth(i.saturating_sub(1))
+                    .map(|c| c.to_string())
+                    .unwrap_or_default();
+                Ok(Value::Text(letter))
+            }
+            Expr::TextLength(text) => {
+                let text = self.eval(text)?.to_display_string();
+                Ok(Value::Number(text.chars().count() as f64))
+            }
+            Expr::NumbersFromTo(a, b) => {
+                let a = self.eval(a)?.to_number();
+                let b = self.eval(b)?.to_number();
+                Ok(numbers_from_to(a, b))
+            }
+            Expr::Ring(ring_expr) => {
+                // A nested ring closes over the current bindings.
+                let mut captured: Vec<(String, Value)> = self.captured.to_vec();
+                captured.extend(self.bindings.iter().cloned());
+                let body = match &ring_expr.body {
+                    RingExprBody::Reporter(e) => RingBody::Reporter((**e).clone()),
+                    RingExprBody::Predicate(e) => RingBody::Predicate((**e).clone()),
+                    RingExprBody::Command(s) => RingBody::Command(s.clone()),
+                };
+                Ok(Value::Ring(Arc::new(Ring {
+                    params: ring_expr.params.clone(),
+                    body,
+                    captured,
+                })))
+            }
+            Expr::CallRing(ring, args) => {
+                let ring_value = self.eval(ring)?;
+                let ring = ring_value.as_ring().ok_or(EvalError::TypeMismatch {
+                    expected: "ring",
+                    got: ring_value.to_display_string(),
+                })?;
+                let mut arg_values = Vec::with_capacity(args.len());
+                for arg in args {
+                    arg_values.push(self.eval(arg)?);
+                }
+                PureFn::compile(ring.clone())?.call(&arg_values)
+            }
+            Expr::Map { ring, list } | Expr::ParallelMap { ring, list, .. } => {
+                // In a pure context, parallelMap degrades to a sequential
+                // map — the same degradation Snap! performs when no
+                // workers are available.
+                let f = self.eval_ring_arg(ring)?;
+                let list = Self::expect_list(self.eval(list)?)?;
+                let mut out = Vec::with_capacity(list.len());
+                for item in list.to_vec() {
+                    out.push(f.call1(item)?);
+                }
+                Ok(Value::list(out))
+            }
+            Expr::Keep { pred, list } => {
+                let f = self.eval_ring_arg(pred)?;
+                let list = Self::expect_list(self.eval(list)?)?;
+                let mut out = Vec::new();
+                for item in list.to_vec() {
+                    if f.call1(item.clone())?.to_bool() {
+                        out.push(item);
+                    }
+                }
+                Ok(Value::list(out))
+            }
+            Expr::Combine { list, ring } => {
+                let f = self.eval_ring_arg(ring)?;
+                let list = Self::expect_list(self.eval(list)?)?;
+                let items = list.to_vec();
+                match items.split_first() {
+                    None => Ok(Value::Number(0.0)),
+                    Some((first, rest)) => {
+                        let mut acc = first.clone();
+                        for item in rest {
+                            acc = f.call(&[acc, item.clone()])?;
+                        }
+                        Ok(acc)
+                    }
+                }
+            }
+            Expr::MapReduce { .. } => Err(EvalError::NotPure("mapReduce")),
+            Expr::PickRandom(_, _) => Err(EvalError::NotPure("pick random")),
+            Expr::Attribute(_) => Err(EvalError::NotPure("attribute reporter")),
+            Expr::CallCustom(name, _) => Err(EvalError::UnknownCustomBlock(name.clone())),
+        }
+    }
+
+    /// Evaluate an expression that must produce a reporter ring, and
+    /// compile it.
+    fn eval_ring_arg(&mut self, expr: &Expr) -> Result<PureFn, EvalError> {
+        let v = self.eval(expr)?;
+        let ring = v.as_ring().ok_or(EvalError::TypeMismatch {
+            expected: "ring",
+            got: v.to_display_string(),
+        })?;
+        PureFn::compile(ring.clone())
+    }
+}
+
+/// `numbers from a to b`, counting down when `a > b` like Snap!.
+pub fn numbers_from_to(a: f64, b: f64) -> Value {
+    let mut out = Vec::new();
+    if a <= b {
+        let mut x = a;
+        while x <= b {
+            out.push(Value::Number(x));
+            x += 1.0;
+        }
+    } else {
+        let mut x = a;
+        while x >= b {
+            out.push(Value::Number(x));
+            x -= 1.0;
+        }
+    }
+    Value::list(out)
+}
+
+/// Evaluate a binary operator block on two values with Snap! coercions.
+pub fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Value {
+    match op {
+        BinOp::Add => Value::Number(a.to_number() + b.to_number()),
+        BinOp::Sub => Value::Number(a.to_number() - b.to_number()),
+        BinOp::Mul => Value::Number(a.to_number() * b.to_number()),
+        BinOp::Div => Value::Number(a.to_number() / b.to_number()),
+        BinOp::Mod => {
+            // Snap!'s mod: result takes the sign of the divisor.
+            let (x, y) = (a.to_number(), b.to_number());
+            Value::Number(x - y * (x / y).floor())
+        }
+        BinOp::Pow => Value::Number(a.to_number().powf(b.to_number())),
+        BinOp::Eq => Value::Bool(a.loose_eq(b)),
+        BinOp::Ne => Value::Bool(!a.loose_eq(b)),
+        BinOp::Lt => Value::Bool(a.snap_cmp(b) == std::cmp::Ordering::Less),
+        BinOp::Gt => Value::Bool(a.snap_cmp(b) == std::cmp::Ordering::Greater),
+        BinOp::Le => Value::Bool(a.snap_cmp(b) != std::cmp::Ordering::Greater),
+        BinOp::Ge => Value::Bool(a.snap_cmp(b) != std::cmp::Ordering::Less),
+        BinOp::And => Value::Bool(a.to_bool() && b.to_bool()),
+        BinOp::Or => Value::Bool(a.to_bool() || b.to_bool()),
+    }
+}
+
+/// Evaluate a unary operator block with Snap! coercions. Trigonometric
+/// blocks take degrees, like Snap!'s.
+pub fn eval_unop(op: UnOp, a: &Value) -> Value {
+    match op {
+        UnOp::Not => Value::Bool(!a.to_bool()),
+        UnOp::Neg => Value::Number(-a.to_number()),
+        UnOp::Abs => Value::Number(a.to_number().abs()),
+        UnOp::Sqrt => Value::Number(a.to_number().sqrt()),
+        UnOp::Round => Value::Number(a.to_number().round()),
+        UnOp::Floor => Value::Number(a.to_number().floor()),
+        UnOp::Ceil => Value::Number(a.to_number().ceil()),
+        UnOp::Sin => Value::Number(a.to_number().to_radians().sin()),
+        UnOp::Cos => Value::Number(a.to_number().to_radians().cos()),
+        UnOp::Ln => Value::Number(a.to_number().ln()),
+        UnOp::Exp => Value::Number(a.to_number().exp()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn times_ten() -> PureFn {
+        PureFn::compile(Arc::new(Ring::reporter(mul(empty_slot(), num(10.0))))).unwrap()
+    }
+
+    #[test]
+    fn times_ten_matches_paper_fig4() {
+        // map (( ) × 10) over (list 3 7 8) → [30, 70, 80]
+        let f = times_ten();
+        let out: Vec<Value> = [3.0, 7.0, 8.0]
+            .iter()
+            .map(|&n| f.call1(Value::Number(n)).unwrap())
+            .collect();
+        assert_eq!(
+            out,
+            vec![
+                Value::Number(30.0),
+                Value::Number(70.0),
+                Value::Number(80.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn single_arg_fills_all_empty_slots() {
+        // (( ) + ( )) with one argument: both slots get it.
+        let f = PureFn::compile(Arc::new(Ring::reporter(add(empty_slot(), empty_slot()))))
+            .unwrap();
+        assert_eq!(f.call1(Value::Number(4.0)).unwrap(), Value::Number(8.0));
+    }
+
+    #[test]
+    fn multiple_args_fill_slots_positionally() {
+        let f = PureFn::compile(Arc::new(Ring::reporter(sub(empty_slot(), empty_slot()))))
+            .unwrap();
+        assert_eq!(
+            f.call(&[Value::Number(10.0), Value::Number(3.0)]).unwrap(),
+            Value::Number(7.0)
+        );
+    }
+
+    #[test]
+    fn named_params_bind() {
+        let f = PureFn::compile(Arc::new(Ring::reporter_with_params(
+            vec!["n".into()],
+            mul(var("n"), var("n")),
+        )))
+        .unwrap();
+        assert_eq!(f.call1(Value::Number(5.0)).unwrap(), Value::Number(25.0));
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let f = PureFn::compile(Arc::new(Ring::reporter_with_params(
+            vec!["a".into(), "b".into()],
+            add(var("a"), var("b")),
+        )))
+        .unwrap();
+        assert_eq!(
+            f.call(&[Value::Number(1.0)]),
+            Err(EvalError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn captured_environment_is_visible() {
+        let ring = Ring::reporter(add(empty_slot(), var("offset")))
+            .with_captured(vec![("offset".into(), Value::Number(100.0))]);
+        let f = PureFn::compile(Arc::new(ring)).unwrap();
+        assert_eq!(f.call1(Value::Number(1.0)).unwrap(), Value::Number(101.0));
+    }
+
+    #[test]
+    fn impure_blocks_are_rejected_at_compile_time() {
+        let err = PureFn::compile(Arc::new(Ring::reporter(Expr::PickRandom(
+            Box::new(num(1.0)),
+            Box::new(num(10.0)),
+        ))));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn command_rings_are_rejected() {
+        let err = PureFn::compile(Arc::new(Ring::command(vec![])));
+        assert_eq!(err.err(), Some(EvalError::NotAReporter));
+    }
+
+    #[test]
+    fn mod_takes_sign_of_divisor() {
+        assert_eq!(
+            eval_binop(BinOp::Mod, &Value::Number(-7.0), &Value::Number(3.0)),
+            Value::Number(2.0)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Mod, &Value::Number(7.0), &Value::Number(-3.0)),
+            Value::Number(-2.0)
+        );
+    }
+
+    #[test]
+    fn numbers_from_to_counts_both_ways() {
+        assert_eq!(
+            super::numbers_from_to(1.0, 4.0),
+            Value::number_list([1.0, 2.0, 3.0, 4.0])
+        );
+        assert_eq!(
+            super::numbers_from_to(3.0, 1.0),
+            Value::number_list([3.0, 2.0, 1.0])
+        );
+    }
+
+    #[test]
+    fn nested_map_inside_ring_is_pure() {
+        // map over a list inside a ring: ring(xs) = map (()×2) over xs
+        let inner = Expr::Ring(crate::expr::RingExpr::reporter(mul(empty_slot(), num(2.0))));
+        let f = PureFn::compile(Arc::new(Ring::reporter_with_params(
+            vec!["xs".into()],
+            Expr::Map {
+                ring: Box::new(inner),
+                list: Box::new(var("xs")),
+            },
+        )))
+        .unwrap();
+        let out = f.call1(Value::number_list([1.0, 2.0])).unwrap();
+        assert_eq!(out, Value::number_list([2.0, 4.0]));
+    }
+
+    #[test]
+    fn combine_folds_left() {
+        let f = PureFn::compile(Arc::new(Ring::reporter_with_params(
+            vec!["xs".into()],
+            Expr::Combine {
+                list: Box::new(var("xs")),
+                ring: Box::new(Expr::Ring(crate::expr::RingExpr::reporter(add(
+                    empty_slot(),
+                    empty_slot(),
+                )))),
+            },
+        )))
+        .unwrap();
+        assert_eq!(
+            f.call1(Value::number_list([1.0, 2.0, 3.0, 4.0])).unwrap(),
+            Value::Number(10.0)
+        );
+        // Empty list combines to 0.
+        assert_eq!(f.call1(Value::number_list([])).unwrap(), Value::Number(0.0));
+    }
+
+    #[test]
+    fn split_and_join_roundtrip() {
+        let f = PureFn::compile(Arc::new(Ring::reporter_with_params(
+            vec!["s".into()],
+            Expr::Split(Box::new(var("s")), Box::new(text(" "))),
+        )))
+        .unwrap();
+        let out = f.call1("the quick fox".into()).unwrap();
+        assert_eq!(
+            out,
+            Value::list(vec!["the".into(), "quick".into(), "fox".into()])
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Scripts, hat blocks, and custom block definitions.
+//!
+//! A *script* is a hat block plus the stack of command blocks under it
+//! (paper §2, Fig. 3). A *custom block* is a user-defined block built from
+//! other blocks — the "Build Your Own Blocks" feature that gave Snap! its
+//! original name.
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::Expr;
+use crate::stmt::Stmt;
+
+/// The event that activates a script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HatBlock {
+    /// `when green flag clicked`.
+    GreenFlag,
+    /// `when <key> key pressed`.
+    KeyPressed(String),
+    /// `when I receive <message>`.
+    MessageReceived(String),
+    /// `when I start as a clone`.
+    StartAsClone,
+    /// `when this sprite clicked`.
+    SpriteClicked,
+}
+
+/// A hat block plus its stack of command blocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Script {
+    /// The activating event.
+    pub hat: HatBlock,
+    /// The command blocks under the hat, in order.
+    pub body: Vec<Stmt>,
+}
+
+impl Script {
+    /// A script activated by the green flag.
+    pub fn on_green_flag(body: Vec<Stmt>) -> Script {
+        Script {
+            hat: HatBlock::GreenFlag,
+            body,
+        }
+    }
+
+    /// A script activated by a key press.
+    pub fn on_key(key: impl Into<String>, body: Vec<Stmt>) -> Script {
+        Script {
+            hat: HatBlock::KeyPressed(key.into()),
+            body,
+        }
+    }
+
+    /// A script activated by a broadcast message.
+    pub fn on_message(message: impl Into<String>, body: Vec<Stmt>) -> Script {
+        Script {
+            hat: HatBlock::MessageReceived(message.into()),
+            body,
+        }
+    }
+
+    /// A script activated when the sprite starts as a clone.
+    pub fn on_clone_start(body: Vec<Stmt>) -> Script {
+        Script {
+            hat: HatBlock::StartAsClone,
+            body,
+        }
+    }
+
+    /// Total number of command blocks in the script.
+    pub fn block_count(&self) -> usize {
+        Stmt::block_count(&self.body)
+    }
+}
+
+/// Shape of a custom block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// Puzzle-piece command block.
+    Command,
+    /// Oval reporter block.
+    Reporter,
+    /// Hexagonal predicate block.
+    Predicate,
+}
+
+/// A user-defined block ("Build Your Own Blocks").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CustomBlock {
+    /// The block's name (its label text).
+    pub name: String,
+    /// Formal parameter names.
+    pub params: Vec<String>,
+    /// Command, reporter, or predicate.
+    pub kind: BlockKind,
+    /// The definition script. Reporters return via [`Stmt::Report`].
+    pub body: Vec<Stmt>,
+}
+
+impl CustomBlock {
+    /// Define a custom command block.
+    pub fn command(name: impl Into<String>, params: Vec<String>, body: Vec<Stmt>) -> CustomBlock {
+        CustomBlock {
+            name: name.into(),
+            params,
+            kind: BlockKind::Command,
+            body,
+        }
+    }
+
+    /// Define a custom reporter block.
+    pub fn reporter(name: impl Into<String>, params: Vec<String>, body: Vec<Stmt>) -> CustomBlock {
+        CustomBlock {
+            name: name.into(),
+            params,
+            kind: BlockKind::Reporter,
+            body,
+        }
+    }
+
+    /// Define a custom reporter that simply reports one expression.
+    pub fn reporter_expr(name: impl Into<String>, params: Vec<String>, expr: Expr) -> CustomBlock {
+        CustomBlock {
+            name: name.into(),
+            params,
+            kind: BlockKind::Reporter,
+            body: vec![Stmt::Report(expr)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn script_constructors_set_hats() {
+        assert_eq!(
+            Script::on_green_flag(vec![]).hat,
+            HatBlock::GreenFlag
+        );
+        assert_eq!(
+            Script::on_key("right arrow", vec![]).hat,
+            HatBlock::KeyPressed("right arrow".into())
+        );
+        assert_eq!(
+            Script::on_message("go", vec![]).hat,
+            HatBlock::MessageReceived("go".into())
+        );
+    }
+
+    #[test]
+    fn reporter_expr_wraps_in_report() {
+        let b = CustomBlock::reporter_expr("double", vec!["n".into()], add(var("n"), var("n")));
+        assert_eq!(b.kind, BlockKind::Reporter);
+        assert!(matches!(b.body[0], Stmt::Report(_)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Script::on_key("left arrow", vec![Stmt::TurnLeft(num(15.0))]);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<Script>(&json).unwrap(), s);
+    }
+}

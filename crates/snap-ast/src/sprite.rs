@@ -1,0 +1,220 @@
+//! Sprites, the stage, and whole projects.
+//!
+//! A Snap! *project* is one or more sprites, each with one or more scripts
+//! (paper §2). Scripts run concurrently within and across sprites. The
+//! stage is a special sprite-like object that owns global state such as
+//! the timer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::constant::Constant;
+use crate::script::{CustomBlock, Script};
+
+/// The static definition of a sprite (what the project file stores; the
+/// VM instantiates it, possibly many times via cloning).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpriteDef {
+    /// The sprite's name (e.g. `"Pitcher"`, `"Cup"`).
+    pub name: String,
+    /// Initial x position on the stage.
+    pub x: f64,
+    /// Initial y position.
+    pub y: f64,
+    /// Initial heading in degrees (90 = right, like Snap!).
+    pub heading: f64,
+    /// Initially visible?
+    pub visible: bool,
+    /// Costume names; the current costume starts at 1.
+    pub costumes: Vec<String>,
+    /// Sprite-local variables with initial values.
+    pub variables: Vec<(String, Constant)>,
+    /// The sprite's scripts.
+    pub scripts: Vec<Script>,
+    /// Custom blocks visible to this sprite only.
+    pub custom_blocks: Vec<CustomBlock>,
+}
+
+impl SpriteDef {
+    /// A fresh sprite at the origin, facing right, visible, no costumes.
+    pub fn new(name: impl Into<String>) -> SpriteDef {
+        SpriteDef {
+            name: name.into(),
+            x: 0.0,
+            y: 0.0,
+            heading: 90.0,
+            visible: true,
+            costumes: Vec::new(),
+            variables: Vec::new(),
+            scripts: Vec::new(),
+            custom_blocks: Vec::new(),
+        }
+    }
+
+    /// Builder: set the initial position.
+    pub fn at(mut self, x: f64, y: f64) -> SpriteDef {
+        self.x = x;
+        self.y = y;
+        self
+    }
+
+    /// Builder: add a script.
+    pub fn with_script(mut self, script: Script) -> SpriteDef {
+        self.scripts.push(script);
+        self
+    }
+
+    /// Builder: add a sprite-local variable.
+    pub fn with_variable(mut self, name: impl Into<String>, value: Constant) -> SpriteDef {
+        self.variables.push((name.into(), value));
+        self
+    }
+
+    /// Builder: add a custom block.
+    pub fn with_custom_block(mut self, block: CustomBlock) -> SpriteDef {
+        self.custom_blocks.push(block);
+        self
+    }
+
+    /// Builder: set the costume list.
+    pub fn with_costumes(mut self, costumes: Vec<String>) -> SpriteDef {
+        self.costumes = costumes;
+        self
+    }
+
+    /// Total command-block count across all scripts (project statistics).
+    pub fn block_count(&self) -> usize {
+        self.scripts.iter().map(Script::block_count).sum()
+    }
+}
+
+/// A complete project: the unit a user saves, loads and runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Project {
+    /// Project name.
+    pub name: String,
+    /// Global variables with initial values.
+    pub globals: Vec<(String, Constant)>,
+    /// Custom blocks visible to every sprite.
+    pub global_blocks: Vec<CustomBlock>,
+    /// Scripts owned by the stage itself.
+    pub stage_scripts: Vec<Script>,
+    /// The sprites.
+    pub sprites: Vec<SpriteDef>,
+}
+
+impl Project {
+    /// An empty project.
+    pub fn new(name: impl Into<String>) -> Project {
+        Project {
+            name: name.into(),
+            globals: Vec::new(),
+            global_blocks: Vec::new(),
+            stage_scripts: Vec::new(),
+            sprites: Vec::new(),
+        }
+    }
+
+    /// Builder: add a sprite.
+    pub fn with_sprite(mut self, sprite: SpriteDef) -> Project {
+        self.sprites.push(sprite);
+        self
+    }
+
+    /// Builder: add a global variable.
+    pub fn with_global(mut self, name: impl Into<String>, value: Constant) -> Project {
+        self.globals.push((name.into(), value));
+        self
+    }
+
+    /// Builder: add a globally visible custom block.
+    pub fn with_global_block(mut self, block: CustomBlock) -> Project {
+        self.global_blocks.push(block);
+        self
+    }
+
+    /// Builder: add a stage script.
+    pub fn with_stage_script(mut self, script: Script) -> Project {
+        self.stage_scripts.push(script);
+        self
+    }
+
+    /// Look up a sprite definition by name.
+    pub fn sprite(&self, name: &str) -> Option<&SpriteDef> {
+        self.sprites.iter().find(|s| s.name == name)
+    }
+
+    /// Total command-block count across the whole project.
+    pub fn block_count(&self) -> usize {
+        self.sprites.iter().map(SpriteDef::block_count).sum::<usize>()
+            + self
+                .stage_scripts
+                .iter()
+                .map(Script::block_count)
+                .sum::<usize>()
+    }
+
+    /// Serialize to the JSON project format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("project serialization cannot fail")
+    }
+
+    /// Load from the JSON project format.
+    pub fn from_json(json: &str) -> Result<Project, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::stmt::Stmt;
+
+    fn dragon_project() -> Project {
+        // The paper's Fig. 2/3 example: a dragon controlled by arrow keys.
+        Project::new("dragon").with_sprite(
+            SpriteDef::new("Dragon")
+                .with_script(Script::on_green_flag(vec![Stmt::Forever(vec![
+                    Stmt::Move(num(2.0)),
+                ])]))
+                .with_script(Script::on_key(
+                    "right arrow",
+                    vec![Stmt::TurnRight(num(15.0))],
+                ))
+                .with_script(Script::on_key(
+                    "left arrow",
+                    vec![Stmt::TurnLeft(num(15.0))],
+                )),
+        )
+    }
+
+    #[test]
+    fn project_json_roundtrip() {
+        let p = dragon_project();
+        let json = p.to_json();
+        let back = Project::from_json(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn sprite_lookup_by_name() {
+        let p = dragon_project();
+        assert!(p.sprite("Dragon").is_some());
+        assert!(p.sprite("Cat").is_none());
+    }
+
+    #[test]
+    fn block_count_sums_scripts() {
+        let p = dragon_project();
+        // forever + move + turn + turn = 4
+        assert_eq!(p.block_count(), 4);
+    }
+
+    #[test]
+    fn sprite_defaults_match_snap() {
+        let s = SpriteDef::new("S");
+        assert_eq!(s.heading, 90.0);
+        assert!(s.visible);
+        assert_eq!((s.x, s.y), (0.0, 0.0));
+    }
+}

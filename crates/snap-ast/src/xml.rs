@@ -1,0 +1,398 @@
+//! The XML project format.
+//!
+//! Real Snap! saves projects as XML documents; our JSON format
+//! (`Project::to_json`) is the idiomatic-Rust equivalent, and this
+//! module provides the XML one for fidelity: a small self-contained XML
+//! reader/writer plus a full mapping of projects onto `<project>`,
+//! `<sprite>`, `<script>`, `<block>` elements. Round-tripping is exact
+//! (property-tested in `tests/xml_properties.rs`).
+
+use std::fmt;
+
+/// A generic XML element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XmlNode {
+    /// Tag name.
+    pub tag: String,
+    /// Attributes, in order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements.
+    pub children: Vec<XmlNode>,
+    /// Text content (mutually exclusive with children in this format).
+    pub text: Option<String>,
+}
+
+impl XmlNode {
+    /// An element with no attributes or children.
+    pub fn new(tag: impl Into<String>) -> XmlNode {
+        XmlNode {
+            tag: tag.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+            text: None,
+        }
+    }
+
+    /// Builder: add an attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> XmlNode {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder: add a child element.
+    pub fn child(mut self, child: XmlNode) -> XmlNode {
+        self.children.push(child);
+        self
+    }
+
+    /// Builder: add children.
+    pub fn children(mut self, children: Vec<XmlNode>) -> XmlNode {
+        self.children.extend(children);
+        self
+    }
+
+    /// Builder: set text content.
+    pub fn with_text(mut self, text: impl Into<String>) -> XmlNode {
+        self.text = Some(text.into());
+        self
+    }
+
+    /// Attribute lookup.
+    pub fn get_attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child with the given tag.
+    pub fn find(&self, tag: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.tag == tag)
+    }
+
+    /// All children with the given tag.
+    pub fn find_all<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a XmlNode> {
+        self.children.iter().filter(move |c| c.tag == tag)
+    }
+
+    /// Serialize with 2-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.tag);
+        for (name, value) in &self.attrs {
+            out.push(' ');
+            out.push_str(name);
+            out.push_str("=\"");
+            out.push_str(&escape(value));
+            out.push('"');
+        }
+        match (&self.text, self.children.is_empty()) {
+            (Some(text), _) => {
+                out.push('>');
+                out.push_str(&escape(text));
+                out.push_str("</");
+                out.push_str(&self.tag);
+                out.push_str(">\n");
+            }
+            (None, true) => out.push_str("/>\n"),
+            (None, false) => {
+                out.push_str(">\n");
+                for child in &self.children {
+                    child.write(out, depth + 1);
+                }
+                out.push_str(&pad);
+                out.push_str("</");
+                out.push_str(&self.tag);
+                out.push_str(">\n");
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, XmlError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i + 1..];
+        let end = rest.find(';').ok_or(XmlError::BadEntity)?;
+        let entity = &rest[..end];
+        out.push(match entity {
+            "amp" => '&',
+            "lt" => '<',
+            "gt" => '>',
+            "quot" => '"',
+            "apos" => '\'',
+            _ => {
+                let code = entity
+                    .strip_prefix('#')
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .and_then(char::from_u32)
+                    .ok_or(XmlError::BadEntity)?;
+                code
+            }
+        });
+        for _ in 0..=end {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended inside a construct.
+    UnexpectedEof,
+    /// A token that doesn't belong (with position).
+    Unexpected(usize),
+    /// Close tag didn't match the open tag.
+    MismatchedTag {
+        /// The tag that was open.
+        open: String,
+        /// The tag that tried to close it.
+        close: String,
+    },
+    /// Malformed `&…;` entity.
+    BadEntity,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof => write!(f, "unexpected end of XML"),
+            XmlError::Unexpected(pos) => write!(f, "unexpected character at byte {pos}"),
+            XmlError::MismatchedTag { open, close } => {
+                write!(f, "<{open}> closed by </{close}>")
+            }
+            XmlError::BadEntity => write!(f, "malformed XML entity"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parse one XML element (leading whitespace and an optional
+/// `<?xml …?>` declaration are allowed).
+pub fn parse(input: &str) -> Result<XmlNode, XmlError> {
+    let mut parser = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    if parser.rest().starts_with("<?") {
+        let end = parser
+            .rest()
+            .find("?>")
+            .ok_or(XmlError::UnexpectedEof)?;
+        parser.pos += end + 2;
+        parser.skip_ws();
+    }
+    let node = parser.element()?;
+    parser.skip_ws();
+    Ok(node)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn rest(&self) -> &'a str {
+        std::str::from_utf8(&self.input[self.pos..]).unwrap_or("")
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), XmlError> {
+        if self.input.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else if self.pos >= self.input.len() {
+            Err(XmlError::UnexpectedEof)
+        } else {
+            Err(XmlError::Unexpected(self.pos))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self
+            .input
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'-' || *b == b'_' || *b == b':')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(XmlError::Unexpected(self.pos));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn element(&mut self) -> Result<XmlNode, XmlError> {
+        self.expect(b'<')?;
+        let tag = self.name()?;
+        let mut node = XmlNode::new(tag);
+        loop {
+            self.skip_ws();
+            match self.input.get(self.pos) {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(node); // self-closing
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let name = self.name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    self.expect(b'"')?;
+                    let start = self.pos;
+                    while self.input.get(self.pos).is_some_and(|&b| b != b'"') {
+                        self.pos += 1;
+                    }
+                    let raw =
+                        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    self.expect(b'"')?;
+                    node.attrs.push((name, unescape(&raw)?));
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        }
+        // Content: children or text.
+        let mut text = String::new();
+        loop {
+            self.skip_ws_preserving(&mut text);
+            match self.input.get(self.pos) {
+                Some(b'<') if self.input.get(self.pos + 1) == Some(&b'/') => {
+                    self.pos += 2;
+                    let close = self.name()?;
+                    self.skip_ws();
+                    self.expect(b'>')?;
+                    if close != node.tag {
+                        return Err(XmlError::MismatchedTag {
+                            open: node.tag,
+                            close,
+                        });
+                    }
+                    let trimmed = text.trim();
+                    if node.children.is_empty() && !trimmed.is_empty() {
+                        node.text = Some(unescape(trimmed)?);
+                    }
+                    return Ok(node);
+                }
+                Some(b'<') => {
+                    node.children.push(self.element()?);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.input.get(self.pos).is_some_and(|&b| b != b'<') {
+                        self.pos += 1;
+                    }
+                    text.push_str(&String::from_utf8_lossy(&self.input[start..self.pos]));
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        }
+    }
+
+    fn skip_ws_preserving(&mut self, _text: &mut String) {
+        // Whitespace between elements is insignificant in this format;
+        // significant text is always adjacent to its tags.
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_reparses_simple_trees() {
+        let node = XmlNode::new("project")
+            .attr("name", "demo")
+            .child(XmlNode::new("sprite").attr("name", "Cat"))
+            .child(XmlNode::new("note").with_text("hello <world> & \"friends\""));
+        let text = node.to_pretty_string();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn self_closing_and_nested() {
+        let parsed = parse("<a x=\"1\"><b/><c y=\"2\"><d/></c></a>").unwrap();
+        assert_eq!(parsed.tag, "a");
+        assert_eq!(parsed.get_attr("x"), Some("1"));
+        assert_eq!(parsed.children.len(), 2);
+        assert_eq!(parsed.find("c").unwrap().children.len(), 1);
+    }
+
+    #[test]
+    fn xml_declaration_is_skipped() {
+        let parsed = parse("<?xml version=\"1.0\"?>\n<root/>").unwrap();
+        assert_eq!(parsed.tag, "root");
+    }
+
+    #[test]
+    fn entities_roundtrip() {
+        let node = XmlNode::new("t").attr("v", "a&b<c>\"d\"\ne");
+        let back = parse(&node.to_pretty_string()).unwrap();
+        assert_eq!(back.get_attr("v"), Some("a&b<c>\"d\"\ne"));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert_eq!(
+            parse("<a></b>"),
+            Err(XmlError::MismatchedTag {
+                open: "a".into(),
+                close: "b".into()
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        assert!(parse("<a ").is_err());
+        assert!(parse("<a><b></b>").is_err());
+        assert!(parse("").is_err());
+    }
+}

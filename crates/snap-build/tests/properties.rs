@@ -1,0 +1,136 @@
+//! Property-based tests for the batch-scheduler simulator: whatever the
+//! workload, the cluster's invariants must hold.
+
+use proptest::prelude::*;
+
+use snap_build::{BatchScheduler, JobSpec, JobState, Policy};
+
+#[derive(Debug, Clone)]
+struct WorkloadJob {
+    nodes: usize,
+    walltime: u64,
+    runtime: u64,
+}
+
+fn workload_strategy() -> impl Strategy<Value = Vec<WorkloadJob>> {
+    prop::collection::vec(
+        (1usize..8, 1u64..20, 1u64..30).prop_map(|(nodes, walltime, runtime)| WorkloadJob {
+            nodes,
+            walltime,
+            runtime,
+        }),
+        0..30,
+    )
+}
+
+fn run_workload(jobs: &[WorkloadJob], policy: Policy) -> BatchScheduler {
+    let mut s = BatchScheduler::new(8, policy);
+    for (i, job) in jobs.iter().enumerate() {
+        s.submit(JobSpec {
+            name: format!("job{i}"),
+            nodes: job.nodes,
+            walltime: job.walltime,
+            runtime: job.runtime,
+        });
+        // Interleave submission with progress so arrival order matters.
+        if i % 3 == 0 {
+            s.tick();
+        }
+    }
+    s.run_to_completion(100_000);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_job_reaches_a_terminal_state(
+        jobs in workload_strategy(),
+        backfill in any::<bool>()
+    ) {
+        let policy = if backfill { Policy::Backfill } else { Policy::Fifo };
+        let s = run_workload(&jobs, policy);
+        prop_assert!(!s.is_active(), "queue must drain");
+        for i in 0..jobs.len() {
+            let job = s.job((i + 1) as u64).expect("job exists");
+            prop_assert!(
+                matches!(job.state, JobState::Completed | JobState::TimedOut),
+                "job {i} ended {:?}",
+                job.state
+            );
+        }
+    }
+
+    #[test]
+    fn jobs_never_exceed_their_walltime(
+        jobs in workload_strategy(),
+        backfill in any::<bool>()
+    ) {
+        let policy = if backfill { Policy::Backfill } else { Policy::Fifo };
+        let s = run_workload(&jobs, policy);
+        for i in 0..jobs.len() {
+            let job = s.job((i + 1) as u64).unwrap();
+            if let (Some(start), Some(end)) = (job.started_at, job.ended_at) {
+                prop_assert!(end - start <= job.spec.walltime.max(job.spec.runtime));
+                if job.state == JobState::TimedOut {
+                    prop_assert_eq!(end - start, job.spec.walltime);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_is_a_fraction(
+        jobs in workload_strategy(),
+        backfill in any::<bool>()
+    ) {
+        let policy = if backfill { Policy::Backfill } else { Policy::Fifo };
+        let s = run_workload(&jobs, policy);
+        let u = s.utilization();
+        prop_assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn fifo_starts_jobs_in_submission_order_per_feasibility(
+        jobs in workload_strategy()
+    ) {
+        // Under strict FIFO, a job can only start after every earlier
+        // job has started (no overtaking).
+        let s = run_workload(&jobs, Policy::Fifo);
+        let mut starts: Vec<(u64, u64)> = (0..jobs.len())
+            .filter_map(|i| {
+                let job = s.job((i + 1) as u64)?;
+                Some(((i + 1) as u64, job.started_at?))
+            })
+            .collect();
+        starts.sort_by_key(|(id, _)| *id);
+        for pair in starts.windows(2) {
+            prop_assert!(
+                pair[0].1 <= pair[1].1,
+                "job {} started before job {}",
+                pair[1].0,
+                pair[0].0
+            );
+        }
+    }
+
+    #[test]
+    fn backfill_keeps_drain_time_comparable(
+        jobs in workload_strategy()
+    ) {
+        // EASY backfill guarantees the *head* job's reservation; later
+        // jobs can individually shift, but the drain time stays in the
+        // same ballpark as FIFO (it usually improves; it must never
+        // blow up).
+        let fifo = run_workload(&jobs, Policy::Fifo);
+        let easy = run_workload(&jobs, Policy::Backfill);
+        let bound = fifo.clock() + fifo.clock() / 2 + 25;
+        prop_assert!(
+            easy.clock() <= bound,
+            "easy {} far beyond fifo {}",
+            easy.clock(),
+            fifo.clock()
+        );
+    }
+}

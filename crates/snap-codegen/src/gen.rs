@@ -1,0 +1,588 @@
+//! The block→text generator.
+//!
+//! Walks scripts and reporters against a [`CodeMapping`], filling each
+//! block's template with the translations of its inputs — "because Snap!
+//! programs consist of nested blocks, the value substituted for a
+//! particular placeholder may itself have resulted from the translation
+//! of a nested block" (paper §6.2). This is the engine behind the
+//! paper's "code of \<script\>" block.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use snap_ast::{BinOp, Constant, Expr, RingExprBody, Stmt, UnOp};
+
+use crate::mapping::{CodeMapping, Target};
+use crate::types::{CType, TypeEnv};
+
+/// A block that has no mapping (or no sensible translation) in the
+/// target language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl CodegenError {
+    fn unsupported(what: impl fmt::Display, target: Target) -> CodegenError {
+        CodegenError {
+            message: format!("no {} mapping for {what}", target.name()),
+        }
+    }
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Result of generating a whole C program: the text plus which runtime
+/// helpers it needs.
+#[derive(Debug, Clone)]
+pub struct GeneratedC {
+    /// The body of `main`, indented one level.
+    pub main_body: String,
+    /// Whether the linked-list runtime (`node_t`, `append`) is required.
+    pub needs_list_runtime: bool,
+    /// Whether `<math.h>` is required.
+    pub needs_math: bool,
+}
+
+/// Translates blocks to text using one mapping table.
+pub struct Generator<'a> {
+    mapping: &'a CodeMapping,
+    /// Variable renames applied during translation (e.g. a ring's formal
+    /// parameter → `in->val` in the OpenMP emitter).
+    pub subst: HashMap<String, String>,
+    /// Replacement text for empty slots (set while translating a ring
+    /// body, e.g. `__x` inside a generated `map` callback).
+    pub slot_name: Option<String>,
+    types: TypeEnv,
+    declared: HashSet<String>,
+    needs_list_runtime: bool,
+    needs_math: bool,
+    fresh: u32,
+}
+
+impl<'a> Generator<'a> {
+    /// A generator over a mapping table.
+    pub fn new(mapping: &'a CodeMapping) -> Generator<'a> {
+        Generator {
+            mapping,
+            subst: HashMap::new(),
+            slot_name: None,
+            types: TypeEnv::default(),
+            declared: HashSet::new(),
+            needs_list_runtime: false,
+            needs_math: false,
+            fresh: 0,
+        }
+    }
+
+    /// Whether translation used the C linked-list runtime.
+    pub fn needs_list_runtime(&self) -> bool {
+        self.needs_list_runtime
+    }
+
+    /// Whether translation used `<math.h>` functions.
+    pub fn needs_math(&self) -> bool {
+        self.needs_math
+    }
+
+    fn target(&self) -> Target {
+        self.mapping.target
+    }
+
+    fn fill(&self, key: &str, fills: &[String]) -> Result<String, CodegenError> {
+        self.mapping
+            .get(key)
+            .map(|t| t.fill_indented(fills))
+            .ok_or_else(|| CodegenError::unsupported(format!("'{key}' block"), self.target()))
+    }
+
+    fn fresh_name(&mut self, base: &str) -> String {
+        self.fresh += 1;
+        format!("{base}{}", self.fresh)
+    }
+
+    /// Translate a literal.
+    pub fn constant(&self, c: &Constant) -> Result<String, CodegenError> {
+        Ok(match c {
+            Constant::Nothing => "0".to_owned(),
+            Constant::Number(n) => snap_ast::Value::format_number(*n),
+            Constant::Text(s) => format!("{:?}", s),
+            Constant::Bool(b) => match self.target() {
+                Target::Python => {
+                    if *b {
+                        "True".to_owned()
+                    } else {
+                        "False".to_owned()
+                    }
+                }
+                _ => b.to_string(),
+            },
+            Constant::List(items) => {
+                let parts: Result<Vec<String>, _> =
+                    items.iter().map(|i| self.constant(i)).collect();
+                let joined = parts?.join(", ");
+                match self.target() {
+                    Target::C => format!("{{{joined}}}"),
+                    _ => format!("[{joined}]"),
+                }
+            }
+        })
+    }
+
+    /// Translate a reporter block to an expression string.
+    pub fn expr(&mut self, e: &Expr) -> Result<String, CodegenError> {
+        match e {
+            Expr::Literal(c) => self.constant(c),
+            Expr::Var(name) => Ok(self
+                .subst
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| sanitize_identifier(name))),
+            Expr::EmptySlot => self.slot_name.clone().ok_or_else(|| {
+                CodegenError::unsupported("empty slot outside a ring", self.target())
+            }),
+            Expr::Binary(op, a, b) => {
+                let a = self.expr(a)?;
+                let b = self.expr(b)?;
+                if matches!(op, BinOp::Pow) {
+                    self.needs_math = true;
+                }
+                self.fill(binop_key(*op), &[a, b])
+            }
+            Expr::Unary(op, a) => {
+                let a = self.expr(a)?;
+                if !matches!(op, UnOp::Not | UnOp::Neg) {
+                    self.needs_math = true;
+                }
+                self.fill(unop_key(*op), &[a])
+            }
+            Expr::MakeList(items) => {
+                let parts: Result<Vec<String>, _> =
+                    items.iter().map(|i| self.expr(i)).collect();
+                self.fill("makelist", &[parts?.join(", ")])
+            }
+            Expr::Item(index, list) => {
+                let i = self.expr(index)?;
+                let l = self.expr(list)?;
+                self.fill("item", &[i, l])
+            }
+            Expr::LengthOf(list) => {
+                let l = self.expr(list)?;
+                self.fill("lengthof", &[l])
+            }
+            Expr::Join(parts) => {
+                let mut out: Option<String> = None;
+                for part in parts {
+                    let p = self.expr(part)?;
+                    out = Some(match out {
+                        None => p,
+                        Some(acc) => self.fill("join", &[acc, p])?,
+                    });
+                }
+                Ok(out.unwrap_or_default())
+            }
+            Expr::TextLength(t) => {
+                let t = self.expr(t)?;
+                self.fill("lengthof", &[t])
+            }
+            Expr::Map { ring, list } => {
+                let body = self.ring_body_code(ring, "__x")?;
+                let list = self.expr(list)?;
+                self.fill("map", &[body, list])
+            }
+            Expr::ParallelMap {
+                ring,
+                list,
+                workers,
+            } => {
+                let body = self.ring_body_code(ring, "__x")?;
+                let list = self.expr(list)?;
+                let workers = match workers {
+                    Some(w) => self.expr(w)?,
+                    None => "4".to_owned(), // the paper's default
+                };
+                self.fill("parallelmap", &[body, list, workers])
+            }
+            other => Err(CodegenError::unsupported(
+                format!("{other:?}"),
+                self.target(),
+            )),
+        }
+    }
+
+    /// Translate a ring's reporter body with empty slots renamed to
+    /// `slot`, for splicing into a callback.
+    pub fn ring_body_code(&mut self, ring: &Expr, slot: &str) -> Result<String, CodegenError> {
+        let Expr::Ring(ring_expr) = ring else {
+            return Err(CodegenError::unsupported(
+                "non-ring function input",
+                self.target(),
+            ));
+        };
+        let (body, params): (&Expr, &[String]) = match &ring_expr.body {
+            RingExprBody::Reporter(e) | RingExprBody::Predicate(e) => (e, &ring_expr.params),
+            RingExprBody::Command(_) => {
+                return Err(CodegenError::unsupported(
+                    "command ring as function",
+                    self.target(),
+                ))
+            }
+        };
+        let saved_slot = self.slot_name.replace(slot.to_owned());
+        let saved_subst = params
+            .first()
+            .map(|p| (p.clone(), self.subst.insert(p.clone(), slot.to_owned())));
+        let code = self.expr(body);
+        self.slot_name = saved_slot;
+        if let Some((p, old)) = saved_subst {
+            match old {
+                Some(v) => {
+                    self.subst.insert(p, v);
+                }
+                None => {
+                    self.subst.remove(&p);
+                }
+            }
+        }
+        code
+    }
+
+    /// Translate a script to statements (one string, newline-separated).
+    pub fn script(&mut self, stmts: &[Stmt]) -> Result<String, CodegenError> {
+        // Infer variable types up front so C declarations are typed.
+        self.types = TypeEnv::infer_script(stmts);
+        self.script_inner(stmts)
+    }
+
+    fn script_inner(&mut self, stmts: &[Stmt]) -> Result<String, CodegenError> {
+        let mut lines = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            lines.push(self.stmt(stmt)?);
+        }
+        Ok(lines.join("\n"))
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<String, CodegenError> {
+        match stmt {
+            Stmt::Say(e) | Stmt::Think(e) => {
+                let is_text = matches!(self.types.infer_expr(e), CType::Text);
+                let code = self.expr(e)?;
+                let key = if is_text { "say_text" } else { "say" };
+                self.fill(key, &[code])
+            }
+            Stmt::SetVar(name, value) => self.set_var(name, value),
+            Stmt::ChangeVar(name, delta) => {
+                let name = sanitize_identifier(name);
+                let delta = self.expr(delta)?;
+                self.fill("changevar", &[name, delta])
+            }
+            Stmt::Comment(text) => self.fill("comment", std::slice::from_ref(text)),
+            Stmt::DeclareLocals(_) => Ok(String::new()),
+            Stmt::AddToList { item, list } => {
+                let item = self.expr(item)?;
+                let list = self.expr(list)?;
+                self.needs_list_runtime |= self.target() == Target::C;
+                self.fill("addtolist", &[item, list])
+            }
+            Stmt::If(cond, then) => {
+                let cond = self.expr(cond)?;
+                let body = self.script_inner(then)?;
+                self.fill("if", &[cond, body])
+            }
+            Stmt::IfElse(cond, then, otherwise) => {
+                let cond = self.expr(cond)?;
+                let t = self.script_inner(then)?;
+                let e = self.script_inner(otherwise)?;
+                self.fill("ifelse", &[cond, t, e])
+            }
+            Stmt::Repeat(times, body) => {
+                let times = self.expr(times)?;
+                let body = self.script_inner(body)?;
+                let counter = self.fresh_name("__r");
+                self.fill("repeat", &[times, body, counter])
+            }
+            Stmt::RepeatUntil(cond, body) => {
+                let cond = self.expr(cond)?;
+                let body = self.script_inner(body)?;
+                self.fill("repeatuntil", &[cond, body])
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
+                let from = self.expr(from)?;
+                let to = self.expr(to)?;
+                let var_name = sanitize_identifier(var);
+                self.declared.insert(var_name.clone());
+                let body = self.script_inner(body)?;
+                self.fill("for", &[var_name, from, to, body])
+            }
+            Stmt::ForEach { var, list, body }
+            | Stmt::ParallelForEach {
+                var, list, body, ..
+            } => {
+                let list = self.expr(list)?;
+                let var_name = sanitize_identifier(var);
+                self.declared.insert(var_name.clone());
+                let body = self.script_inner(body)?;
+                self.fill("foreach", &[var_name, list, body])
+            }
+            Stmt::Report(e) => {
+                let code = self.expr(e)?;
+                self.fill("report", &[code])
+            }
+            Stmt::Warp(body) => self.script_inner(body),
+            other => Err(CodegenError::unsupported(
+                crate::stmt_label(other),
+                self.target(),
+            )),
+        }
+    }
+
+    /// `set <var> to <value>` with C declaration handling: the first
+    /// assignment declares the variable with its inferred static type;
+    /// list literals become arrays (non-empty) or `node_t` linked lists
+    /// (empty, ready for `append`) — exactly the shapes of Listing 5.
+    fn set_var(&mut self, name: &str, value: &Expr) -> Result<String, CodegenError> {
+        let name_s = sanitize_identifier(name);
+        if self.target() == Target::C {
+            if let Expr::MakeList(items) = value {
+                if items.is_empty() {
+                    self.needs_list_runtime = true;
+                    self.declared.insert(name_s.clone());
+                    return Ok(format!(
+                        "node_t *{name_s} = (node_t *) malloc(sizeof(node_t));"
+                    ));
+                }
+                let all_literals = items.iter().all(|i| matches!(i, Expr::Literal(_)));
+                if all_literals {
+                    let elem = match self.types.infer_expr(value) {
+                        CType::List(elem) => *elem,
+                        _ => CType::Unknown,
+                    };
+                    let parts: Result<Vec<String>, _> =
+                        items.iter().map(|i| self.expr(i)).collect();
+                    self.declared.insert(name_s.clone());
+                    return Ok(format!(
+                        "{} {name_s}[] = {{{}}};",
+                        elem.c_name(),
+                        parts?.join(", ")
+                    ));
+                }
+            }
+        }
+        let value_code = self.expr(value)?;
+        if self.target() == Target::C && !self.declared.contains(&name_s) {
+            self.declared.insert(name_s.clone());
+            let ty = self.types.var_type(name).c_name();
+            return self.fill("declvar", &[ty, name_s, value_code]);
+        }
+        if self.target() == Target::JavaScript && !self.declared.contains(&name_s) {
+            self.declared.insert(name_s.clone());
+            return self.fill("declvar", &["let".into(), name_s, value_code]);
+        }
+        self.fill("setvar", &[name_s, value_code])
+    }
+}
+
+/// Map a variable name to a legal C/JS/Python identifier.
+pub fn sanitize_identifier(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            if i == 0 && ch.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn binop_key(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Mod => "mod",
+        BinOp::Pow => "pow",
+        BinOp::Eq => "eq",
+        BinOp::Ne => "ne",
+        BinOp::Lt => "lt",
+        BinOp::Gt => "gt",
+        BinOp::Le => "le",
+        BinOp::Ge => "ge",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+    }
+}
+
+fn unop_key(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Not => "not",
+        UnOp::Neg => "neg",
+        UnOp::Abs => "abs",
+        UnOp::Sqrt => "sqrt",
+        UnOp::Round => "round",
+        UnOp::Floor => "floor",
+        UnOp::Ceil => "ceil",
+        UnOp::Sin => "sin",
+        UnOp::Cos => "cos",
+        UnOp::Ln => "ln",
+        UnOp::Exp => "exp",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_ast::builder::*;
+
+    fn c_gen_expr(e: &Expr) -> String {
+        let mapping = CodeMapping::preset(Target::C);
+        Generator::new(&mapping).expr(e).unwrap()
+    }
+
+    #[test]
+    fn nested_operators_translate() {
+        // (5 × (t − 32)) / 9 — the paper's Fahrenheit→Celsius mapper.
+        let e = div(mul(num(5.0), sub(var("t"), num(32.0))), num(9.0));
+        assert_eq!(c_gen_expr(&e), "((5 * (t - 32)) / 9)");
+    }
+
+    #[test]
+    fn item_of_list_is_one_based_in_c() {
+        let e = item(var("i"), var("a"));
+        assert_eq!(c_gen_expr(&e), "a[i - 1]");
+    }
+
+    #[test]
+    fn length_of_matches_listing5() {
+        let e = length_of(var("a"));
+        assert_eq!(c_gen_expr(&e), "(sizeof(a)/sizeof(a[0]))");
+    }
+
+    #[test]
+    fn set_var_declares_typed_array() {
+        let mapping = CodeMapping::preset(Target::C);
+        let mut g = Generator::new(&mapping);
+        let code = g
+            .script(&[set_var("a", number_list([3.0, 7.0, 8.0]))])
+            .unwrap();
+        assert_eq!(code, "int a[] = {3, 7, 8};");
+    }
+
+    #[test]
+    fn empty_list_becomes_linked_list() {
+        let mapping = CodeMapping::preset(Target::C);
+        let mut g = Generator::new(&mapping);
+        let code = g.script(&[set_var("b", make_list(vec![]))]).unwrap();
+        assert!(code.contains("node_t *b = (node_t *) malloc(sizeof(node_t));"));
+        assert!(g.needs_list_runtime());
+    }
+
+    #[test]
+    fn first_assignment_declares_then_reassigns() {
+        let mapping = CodeMapping::preset(Target::C);
+        let mut g = Generator::new(&mapping);
+        let code = g
+            .script(&[set_var("x", num(1.0)), set_var("x", num(2.0))])
+            .unwrap();
+        assert_eq!(code, "int x = 1;\nx = 2;");
+    }
+
+    #[test]
+    fn for_loop_matches_listing5_shape() {
+        let mapping = CodeMapping::preset(Target::C);
+        let mut g = Generator::new(&mapping);
+        let code = g
+            .script(&[for_loop(
+                "i",
+                num(1.0),
+                var("len"),
+                vec![add_to_list(mul(item(var("i"), var("a")), num(10.0)), var("b"))],
+            )])
+            .unwrap();
+        assert!(code.contains("int i; for (i = 1; i <= len; i++){"));
+        assert!(code.contains("append((a[i - 1] * 10), b);"));
+    }
+
+    #[test]
+    fn js_map_emits_arrow_callback() {
+        let mapping = CodeMapping::preset(Target::JavaScript);
+        let mut g = Generator::new(&mapping);
+        let e = map_over(
+            ring_reporter(mul(empty_slot(), num(10.0))),
+            var("data"),
+        );
+        assert_eq!(g.expr(&e).unwrap(), "(data).map((__x) => ((__x * 10)))");
+    }
+
+    #[test]
+    fn js_parallel_map_emits_paralleljs() {
+        let mapping = CodeMapping::preset(Target::JavaScript);
+        let mut g = Generator::new(&mapping);
+        let e = parallel_map_with_workers(
+            ring_reporter(mul(empty_slot(), num(10.0))),
+            var("data"),
+            num(2.0),
+        );
+        let code = g.expr(&e).unwrap();
+        assert!(code.starts_with("new Parallel(data, {maxWorkers: 2})"));
+        assert!(code.contains("return ((__x * 10));"));
+    }
+
+    #[test]
+    fn python_script_indents_bodies() {
+        let mapping = CodeMapping::preset(Target::Python);
+        let mut g = Generator::new(&mapping);
+        let code = g
+            .script(&[if_then(
+                gt(var("x"), num(0.0)),
+                vec![say(var("x")), say(text("positive"))],
+            )])
+            .unwrap();
+        assert_eq!(code, "if (x > 0):\n    print(x)\n    print(\"positive\")");
+    }
+
+    #[test]
+    fn named_ring_params_substitute() {
+        let mapping = CodeMapping::preset(Target::JavaScript);
+        let mut g = Generator::new(&mapping);
+        let e = map_over(
+            ring_reporter_with(vec!["n"], mul(var("n"), var("n"))),
+            var("xs"),
+        );
+        assert_eq!(g.expr(&e).unwrap(), "(xs).map((__x) => ((__x * __x)))");
+    }
+
+    #[test]
+    fn unsupported_blocks_error_cleanly() {
+        let mapping = CodeMapping::preset(Target::C);
+        let mut g = Generator::new(&mapping);
+        let err = g.script(&[broadcast("go")]).unwrap_err();
+        assert!(err.message.contains("broadcast"));
+    }
+
+    #[test]
+    fn identifiers_are_sanitized() {
+        assert_eq!(sanitize_identifier("my var"), "my_var");
+        assert_eq!(sanitize_identifier("2fast"), "_2fast");
+        assert_eq!(sanitize_identifier(""), "_");
+    }
+}

@@ -1,0 +1,326 @@
+//! Block→code mapping tables.
+//!
+//! Snap!'s experimental code-mapping feature is driven by user-editable
+//! "map \<block\> to \<code\>" definitions (paper §6.2, Fig. 15). A
+//! [`CodeMapping`] is one such table: template text per block, keyed by
+//! the block's name. Presets exist for C, JavaScript and Python —
+//! "currently, mappings exist for JavaScript, C, Smalltalk, and Python.
+//! Code mappings for new textual languages can easily be specified by
+//! the user" — and [`CodeMapping::set`] is exactly that user extension
+//! point.
+
+use std::collections::HashMap;
+
+use crate::template::Template;
+
+/// Target language of a mapping table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Plain C (the paper's Listing 5).
+    C,
+    /// JavaScript (with Parallel.js for the parallel blocks).
+    JavaScript,
+    /// Python.
+    Python,
+    /// Smalltalk (the language Scratch was originally written in; the
+    /// paper lists it among the existing mappings).
+    Smalltalk,
+}
+
+impl Target {
+    /// Human-readable name, as it appears on the `map to <language>`
+    /// block.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Target::C => "C",
+            Target::JavaScript => "JavaScript",
+            Target::Python => "Python",
+            Target::Smalltalk => "Smalltalk",
+        }
+    }
+}
+
+/// A per-language block→template table.
+#[derive(Debug, Clone)]
+pub struct CodeMapping {
+    /// The language this table targets.
+    pub target: Target,
+    templates: HashMap<String, Template>,
+}
+
+impl CodeMapping {
+    /// An empty mapping for a target (blocks must be `set` explicitly).
+    pub fn empty(target: Target) -> CodeMapping {
+        CodeMapping {
+            target,
+            templates: HashMap::new(),
+        }
+    }
+
+    /// The preset mapping for a target — the equivalent of executing the
+    /// stack of "map … to …" blocks in the paper's Fig. 15.
+    pub fn preset(target: Target) -> CodeMapping {
+        let mut m = CodeMapping::empty(target);
+        match target {
+            Target::C => m.install_c(),
+            Target::JavaScript => m.install_js(),
+            Target::Python => m.install_py(),
+            Target::Smalltalk => m.install_st(),
+        }
+        m
+    }
+
+    /// The "map \<block\> to \<code\>" block: (re)define one template.
+    pub fn set(&mut self, block: impl Into<String>, template: impl Into<String>) {
+        self.templates.insert(block.into(), Template::new(template));
+    }
+
+    /// Look up a block's template.
+    pub fn get(&self, block: &str) -> Option<&Template> {
+        self.templates.get(block)
+    }
+
+    /// Number of mapped blocks.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// `true` when no blocks are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    fn install_common_operators(&mut self, pow: &str, and: &str, or: &str, not: &str) {
+        self.set("add", "(<#1> + <#2>)");
+        self.set("sub", "(<#1> - <#2>)");
+        self.set("mul", "(<#1> * <#2>)");
+        self.set("div", "(<#1> / <#2>)");
+        self.set("mod", "(<#1> % <#2>)");
+        self.set("pow", pow);
+        self.set("eq", "(<#1> == <#2>)");
+        self.set("ne", "(<#1> != <#2>)");
+        self.set("lt", "(<#1> < <#2>)");
+        self.set("gt", "(<#1> > <#2>)");
+        self.set("le", "(<#1> <= <#2>)");
+        self.set("ge", "(<#1> >= <#2>)");
+        self.set("and", and);
+        self.set("or", or);
+        self.set("not", not);
+        self.set("neg", "(-<#1>)");
+    }
+
+    fn install_c(&mut self) {
+        self.install_common_operators(
+            "pow(<#1>, <#2>)",
+            "(<#1> && <#2>)",
+            "(<#1> || <#2>)",
+            "(!<#1>)",
+        );
+        self.set("abs", "fabs(<#1>)");
+        self.set("sqrt", "sqrt(<#1>)");
+        self.set("round", "round(<#1>)");
+        self.set("floor", "floor(<#1>)");
+        self.set("ceil", "ceil(<#1>)");
+        self.set("say", "printf(\"%g\\n\", (double)(<#1>));");
+        self.set("say_text", "printf(\"%s\\n\", <#1>);");
+        self.set("setvar", "<#1> = <#2>;");
+        self.set("declvar", "<#1> <#2> = <#3>;");
+        self.set("changevar", "<#1> += <#2>;");
+        self.set("if", "if (<#1>) {\n    <#2>\n}");
+        self.set("ifelse", "if (<#1>) {\n    <#2>\n} else {\n    <#3>\n}");
+        self.set(
+            "repeat",
+            "for (int <#3> = 0; <#3> < <#1>; <#3>++) {\n    <#2>\n}",
+        );
+        self.set(
+            "for",
+            "int <#1>; for (<#1> = <#2>; <#1> <= <#3>; <#1>++){\n    <#4>\n}",
+        );
+        self.set(
+            "repeatuntil",
+            "while (!(<#1>)) {\n    <#2>\n}",
+        );
+        self.set("lengthof", "(sizeof(<#1>)/sizeof(<#1>[0]))");
+        self.set("item", "<#2>[<#1> - 1]");
+        self.set("addtolist", "append(<#1>, <#2>);");
+        self.set("report", "return (<#1>);");
+        self.set("comment", "/* <#1> */");
+    }
+
+    fn install_js(&mut self) {
+        self.install_common_operators(
+            "(<#1> ** <#2>)",
+            "(<#1> && <#2>)",
+            "(<#1> || <#2>)",
+            "(!<#1>)",
+        );
+        self.set("abs", "Math.abs(<#1>)");
+        self.set("sqrt", "Math.sqrt(<#1>)");
+        self.set("round", "Math.round(<#1>)");
+        self.set("floor", "Math.floor(<#1>)");
+        self.set("ceil", "Math.ceil(<#1>)");
+        self.set("say", "console.log(<#1>);");
+        self.set("say_text", "console.log(<#1>);");
+        self.set("setvar", "<#1> = <#2>;");
+        self.set("declvar", "let <#2> = <#3>;");
+        self.set("changevar", "<#1> += <#2>;");
+        self.set("if", "if (<#1>) {\n    <#2>\n}");
+        self.set("ifelse", "if (<#1>) {\n    <#2>\n} else {\n    <#3>\n}");
+        self.set(
+            "repeat",
+            "for (let <#3> = 0; <#3> < <#1>; <#3>++) {\n    <#2>\n}",
+        );
+        self.set(
+            "for",
+            "for (let <#1> = <#2>; <#1> <= <#3>; <#1>++) {\n    <#4>\n}",
+        );
+        self.set("repeatuntil", "while (!(<#1>)) {\n    <#2>\n}");
+        self.set("foreach", "for (const <#1> of <#2>) {\n    <#3>\n}");
+        self.set("makelist", "[<#1>]");
+        self.set("lengthof", "(<#1>).length");
+        self.set("item", "<#2>[<#1> - 1]");
+        self.set("addtolist", "<#2>.push(<#1>);");
+        self.set("join", "String(<#1>) + String(<#2>)");
+        self.set("map", "(<#2>).map((__x) => (<#1>))");
+        // The paper's own runtime: Parallel.js (Listing 1).
+        self.set(
+            "parallelmap",
+            "new Parallel(<#2>, {maxWorkers: <#3>}).map(function (__x) { return (<#1>); }).data",
+        );
+        self.set("report", "return (<#1>);");
+        self.set("comment", "// <#1>");
+    }
+
+    fn install_st(&mut self) {
+        self.set("add", "(<#1> + <#2>)");
+        self.set("sub", "(<#1> - <#2>)");
+        self.set("mul", "(<#1> * <#2>)");
+        self.set("div", "(<#1> / <#2>)");
+        self.set("mod", "(<#1> \\\\ <#2>)");
+        self.set("pow", "(<#1> raisedTo: <#2>)");
+        self.set("eq", "(<#1> = <#2>)");
+        self.set("ne", "(<#1> ~= <#2>)");
+        self.set("lt", "(<#1> < <#2>)");
+        self.set("gt", "(<#1> > <#2>)");
+        self.set("le", "(<#1> <= <#2>)");
+        self.set("ge", "(<#1> >= <#2>)");
+        self.set("and", "(<#1> and: [<#2>])");
+        self.set("or", "(<#1> or: [<#2>])");
+        self.set("not", "(<#1>) not");
+        self.set("neg", "(<#1>) negated");
+        self.set("abs", "(<#1>) abs");
+        self.set("sqrt", "(<#1>) sqrt");
+        self.set("round", "(<#1>) rounded");
+        self.set("floor", "(<#1>) floor");
+        self.set("ceil", "(<#1>) ceiling");
+        self.set("say", "Transcript showln: (<#1>) printString.");
+        self.set("say_text", "Transcript showln: <#1>.");
+        self.set("setvar", "<#1> := <#2>.");
+        self.set("changevar", "<#1> := <#1> + <#2>.");
+        self.set("if", "(<#1>) ifTrue: [\n    <#2>\n].");
+        self.set("ifelse", "(<#1>)\n    ifTrue: [\n    <#2>\n]\n    ifFalse: [\n    <#3>\n].");
+        self.set("repeat", "(<#1>) timesRepeat: [\n    <#2>\n].");
+        self.set("for", "<#2> to: <#3> do: [:<#1> |\n    <#4>\n].");
+        self.set("repeatuntil", "[<#1>] whileFalse: [\n    <#2>\n].");
+        self.set("foreach", "(<#2>) do: [:<#1> |\n    <#3>\n].");
+        self.set("makelist", "(OrderedCollection withAll: {<#1>})");
+        self.set("lengthof", "(<#1>) size");
+        self.set("item", "(<#2>) at: <#1>");
+        self.set("addtolist", "(<#2>) add: <#1>.");
+        self.set("join", "(<#1>) asString , (<#2>) asString");
+        self.set("map", "(<#2>) collect: [:__x | <#1>]");
+        self.set("report", "^ <#1>");
+        self.set("comment", "\"<#1>\"");
+    }
+
+    fn install_py(&mut self) {
+        self.install_common_operators(
+            "(<#1> ** <#2>)",
+            "(<#1> and <#2>)",
+            "(<#1> or <#2>)",
+            "(not <#1>)",
+        );
+        self.set("abs", "abs(<#1>)");
+        self.set("sqrt", "math.sqrt(<#1>)");
+        self.set("round", "round(<#1>)");
+        self.set("floor", "math.floor(<#1>)");
+        self.set("ceil", "math.ceil(<#1>)");
+        self.set("say", "print(<#1>)");
+        self.set("say_text", "print(<#1>)");
+        self.set("setvar", "<#1> = <#2>");
+        self.set("declvar", "<#2> = <#3>");
+        self.set("changevar", "<#1> += <#2>");
+        self.set("if", "if <#1>:\n    <#2>");
+        self.set("ifelse", "if <#1>:\n    <#2>\nelse:\n    <#3>");
+        self.set("repeat", "for <#3> in range(<#1>):\n    <#2>");
+        self.set("for", "for <#1> in range(<#2>, <#3> + 1):\n    <#4>");
+        self.set("repeatuntil", "while not (<#1>):\n    <#2>");
+        self.set("foreach", "for <#1> in <#2>:\n    <#3>");
+        self.set("makelist", "[<#1>]");
+        self.set("lengthof", "len(<#1>)");
+        self.set("item", "<#2>[<#1> - 1]");
+        self.set("addtolist", "<#2>.append(<#1>)");
+        self.set("join", "str(<#1>) + str(<#2>)");
+        self.set("map", "[(<#1>) for __x in <#2>]");
+        self.set(
+            "parallelmap",
+            "Pool(<#3>).map(lambda __x: (<#1>), <#2>)",
+        );
+        self.set("report", "return (<#1>)");
+        self.set("comment", "# <#1>");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_nonempty_for_all_targets() {
+        for target in [
+            Target::C,
+            Target::JavaScript,
+            Target::Python,
+            Target::Smalltalk,
+        ] {
+            let m = CodeMapping::preset(target);
+            assert!(!m.is_empty());
+            assert!(m.get("add").is_some(), "{:?} lacks add", target);
+        }
+    }
+
+    #[test]
+    fn user_can_remap_a_block() {
+        let mut m = CodeMapping::preset(Target::C);
+        m.set("say", "puts(<#1>);");
+        assert_eq!(m.get("say").unwrap().text(), "puts(<#1>);");
+    }
+
+    #[test]
+    fn operator_templates_fill() {
+        let m = CodeMapping::preset(Target::C);
+        let s = m
+            .get("mul")
+            .unwrap()
+            .fill(&["a[i - 1]".into(), "10".into()]);
+        assert_eq!(s, "(a[i - 1] * 10)");
+    }
+
+    #[test]
+    fn smalltalk_uses_keyword_messages() {
+        let m = CodeMapping::preset(Target::Smalltalk);
+        let code = m.get("for").unwrap().fill(&[
+            "i".into(),
+            "1".into(),
+            "10".into(),
+            "Transcript showln: i printString.".into(),
+        ]);
+        assert!(code.starts_with("1 to: 10 do: [:i |"));
+    }
+
+    #[test]
+    fn python_uses_indentation_templates() {
+        let m = CodeMapping::preset(Target::Python);
+        assert!(m.get("if").unwrap().text().contains(':'));
+    }
+}

@@ -1,0 +1,157 @@
+//! The placeholder-substitution engine.
+//!
+//! Snap!'s code-mapping feature lets the user define, per block, a text
+//! template in which `<#1>`, `<#2>`, … "signify the mapping of the first
+//! location in the block to be filled in, the second, and so forth. The
+//! remainder of the characters are copied to the output verbatim"
+//! (paper §6.2, Fig. 15).
+
+use serde::{Deserialize, Serialize};
+
+/// A per-block code template.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Template {
+    text: String,
+}
+
+impl Template {
+    /// Wrap template text.
+    pub fn new(text: impl Into<String>) -> Template {
+        Template { text: text.into() }
+    }
+
+    /// The raw template text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The highest placeholder number mentioned (0 when there are none).
+    pub fn max_placeholder(&self) -> usize {
+        let mut max = 0;
+        let mut rest = self.text.as_str();
+        while let Some(start) = rest.find("<#") {
+            rest = &rest[start + 2..];
+            if let Some(end) = rest.find('>') {
+                if let Ok(n) = rest[..end].parse::<usize>() {
+                    max = max.max(n);
+                }
+                rest = &rest[end + 1..];
+            } else {
+                break;
+            }
+        }
+        max
+    }
+
+    /// Replace each `<#N>` with `fills[N-1]` (missing fills become empty
+    /// text, matching Snap!'s forgiving behaviour with empty slots).
+    pub fn fill(&self, fills: &[String]) -> String {
+        let mut out = String::with_capacity(self.text.len());
+        let mut rest = self.text.as_str();
+        while let Some(start) = rest.find("<#") {
+            out.push_str(&rest[..start]);
+            let after = &rest[start + 2..];
+            match after.find('>').and_then(|end| {
+                after[..end]
+                    .parse::<usize>()
+                    .ok()
+                    .map(|n| (n, &after[end + 1..]))
+            }) {
+                Some((n, remainder)) => {
+                    if n >= 1 {
+                        if let Some(fill) = fills.get(n - 1) {
+                            out.push_str(fill);
+                        }
+                    }
+                    rest = remainder;
+                }
+                None => {
+                    // Not a well-formed placeholder: copy verbatim.
+                    out.push_str("<#");
+                    rest = after;
+                }
+            }
+        }
+        out.push_str(rest);
+        out
+    }
+
+    /// Fill with automatic multi-line indentation: every line of a fill
+    /// after its first is indented to the column where the placeholder
+    /// appeared (so nested script bodies line up like C blocks).
+    pub fn fill_indented(&self, fills: &[String]) -> String {
+        let mut indented: Vec<String> = Vec::with_capacity(fills.len());
+        for (i, fill) in fills.iter().enumerate() {
+            // Find the column of <#i+1> in the template.
+            let marker = format!("<#{}>", i + 1);
+            let column = self.text.find(&marker).map(|pos| {
+                let line_start = self.text[..pos].rfind('\n').map(|p| p + 1).unwrap_or(0);
+                pos - line_start
+            });
+            match column {
+                Some(col) if fill.contains('\n') => {
+                    let pad = " ".repeat(col);
+                    let mut lines = fill.lines();
+                    let mut s = lines.next().unwrap_or("").to_owned();
+                    for line in lines {
+                        s.push('\n');
+                        s.push_str(&pad);
+                        s.push_str(line);
+                    }
+                    indented.push(s);
+                }
+                _ => indented.push(fill.clone()),
+            }
+        }
+        self.fill(&indented)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fills(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn substitutes_in_order() {
+        let t = Template::new("printf(\"%d\", <#1> + <#2>);");
+        assert_eq!(t.fill(&fills(&["a", "b"])), "printf(\"%d\", a + b);");
+    }
+
+    #[test]
+    fn placeholders_can_repeat_and_skip() {
+        let t = Template::new("<#2> <#1> <#2>");
+        assert_eq!(t.fill(&fills(&["x", "y"])), "y x y");
+    }
+
+    #[test]
+    fn missing_fills_become_empty() {
+        let t = Template::new("f(<#1>, <#3>)");
+        assert_eq!(t.fill(&fills(&["a"])), "f(a, )");
+    }
+
+    #[test]
+    fn malformed_placeholders_copy_verbatim() {
+        let t = Template::new("a <# b <#x> c");
+        assert_eq!(t.fill(&fills(&["z"])), "a <# b <#x> c");
+    }
+
+    #[test]
+    fn max_placeholder_found() {
+        assert_eq!(Template::new("<#1> <#7> <#3>").max_placeholder(), 7);
+        assert_eq!(Template::new("no holes").max_placeholder(), 0);
+    }
+
+    #[test]
+    fn indented_fill_aligns_nested_lines() {
+        let t = Template::new("while (1) {\n    <#1>\n}");
+        let body = "a();\nb();".to_string();
+        assert_eq!(
+            t.fill_indented(&[body]),
+            "while (1) {\n    a();\n    b();\n}"
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Dynamic-to-static type mapping.
+//!
+//! "Another aspect … encompasses the conversion of Snap! programs to
+//! textual source code, and in particular, how to map the dynamic types
+//! of variables in Snap! to the static types in languages such as C"
+//! (paper §6.3 — listed as future work; implemented here). A single
+//! forward pass infers a static type for every variable from the
+//! expressions assigned to it, with a join lattice
+//! `Int ⊑ Double` and everything else meeting at `Unknown`.
+
+use std::collections::HashMap;
+
+use snap_ast::{BinOp, Constant, Expr, Stmt, UnOp};
+
+/// A static C-family type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// `int`
+    Int,
+    /// `double`
+    Double,
+    /// `int` used as a boolean
+    Bool,
+    /// `char *`
+    Text,
+    /// An array/list of a known element type.
+    List(Box<CType>),
+    /// No information yet (the lattice's bottom: joining with anything
+    /// yields the other type).
+    Unknown,
+    /// Conflicting assignments (the lattice's top: joining with anything
+    /// stays `Any`) — the variable is dynamically typed.
+    Any,
+}
+
+impl CType {
+    /// The C spelling of this type.
+    pub fn c_name(&self) -> String {
+        match self {
+            CType::Int => "int".to_owned(),
+            CType::Double => "double".to_owned(),
+            CType::Bool => "int".to_owned(),
+            CType::Text => "char *".to_owned(),
+            CType::List(elem) => format!("{} *", elem.c_name()),
+            // Dynamic / undetermined variables fall back to the safest
+            // numeric spelling.
+            CType::Unknown | CType::Any => "double".to_owned(),
+        }
+    }
+
+    /// Least upper bound of two inferred types.
+    pub fn join(&self, other: &CType) -> CType {
+        use CType::*;
+        match (self, other) {
+            (a, b) if a == b => a.clone(),
+            (Any, _) | (_, Any) => Any,
+            (Unknown, x) | (x, Unknown) => x.clone(),
+            // Numeric chain: Bool ⊑ Int ⊑ Double.
+            (Int, Double) | (Double, Int) => Double,
+            (Int, Bool) | (Bool, Int) => Int,
+            (Bool, Double) | (Double, Bool) => Double,
+            (List(a), List(b)) => List(Box::new(a.join(b))),
+            _ => Any,
+        }
+    }
+}
+
+/// Inferred types for the variables of one script.
+#[derive(Debug, Default)]
+pub struct TypeEnv {
+    vars: HashMap<String, CType>,
+}
+
+impl TypeEnv {
+    /// Infer variable types from a script (single forward pass; each
+    /// assignment joins into the variable's running type).
+    pub fn infer_script(stmts: &[Stmt]) -> TypeEnv {
+        let mut env = TypeEnv::default();
+        env.walk(stmts);
+        env
+    }
+
+    /// The inferred type of a variable ([`CType::Unknown`] if unseen).
+    pub fn var_type(&self, name: &str) -> CType {
+        self.vars.get(name).cloned().unwrap_or(CType::Unknown)
+    }
+
+    /// All inferred variables (sorted by name, for deterministic output).
+    pub fn variables(&self) -> Vec<(String, CType)> {
+        let mut v: Vec<_> = self
+            .vars
+            .iter()
+            .map(|(k, t)| (k.clone(), t.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    fn record(&mut self, name: &str, ty: CType) {
+        let joined = match self.vars.get(name) {
+            Some(existing) => existing.join(&ty),
+            None => ty,
+        };
+        self.vars.insert(name.to_owned(), joined);
+    }
+
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::SetVar(name, e) => {
+                    let ty = self.infer_expr(e);
+                    self.record(name, ty);
+                }
+                Stmt::ChangeVar(name, e) => {
+                    // Accumulators get Snap!'s numeric semantics (f64):
+                    // inferring `int` would silently overflow where the
+                    // blocks cannot (found by experiment E13).
+                    let ty = self.infer_expr(e).join(&CType::Double);
+                    self.record(name, ty);
+                }
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    let ty = self.infer_expr(from).join(&self.infer_expr(to));
+                    self.record(var, ty);
+                    self.walk(body);
+                }
+                Stmt::ForEach { var, list, body }
+                | Stmt::ParallelForEach {
+                    var, list, body, ..
+                } => {
+                    if let CType::List(elem) = self.infer_expr(list) {
+                        self.record(var, *elem);
+                    } else {
+                        self.record(var, CType::Unknown);
+                    }
+                    self.walk(body);
+                }
+                Stmt::If(_, b) | Stmt::Repeat(_, b) | Stmt::RepeatUntil(_, b) => self.walk(b),
+                Stmt::IfElse(_, t, e) => {
+                    self.walk(t);
+                    self.walk(e);
+                }
+                Stmt::Forever(b) | Stmt::Warp(b) => self.walk(b),
+                _ => {}
+            }
+        }
+    }
+
+    /// Infer the static type of an expression under the current env.
+    pub fn infer_expr(&self, expr: &Expr) -> CType {
+        match expr {
+            Expr::Literal(c) => infer_constant(c),
+            Expr::MakeList(items) => {
+                let elem = items
+                    .iter()
+                    .map(|e| self.infer_expr(e))
+                    .reduce(|a, b| a.join(&b))
+                    .unwrap_or(CType::Unknown);
+                CType::List(Box::new(elem))
+            }
+            Expr::Var(name) => self.var_type(name),
+            Expr::Binary(op, a, b) => match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Mod => {
+                    self.infer_expr(a).join(&self.infer_expr(b)).join(&CType::Int)
+                }
+                BinOp::Div | BinOp::Pow => CType::Double,
+                _ => CType::Bool,
+            },
+            Expr::Unary(op, a) => match op {
+                UnOp::Not => CType::Bool,
+                UnOp::Round | UnOp::Floor | UnOp::Ceil => CType::Int,
+                UnOp::Neg | UnOp::Abs => self.infer_expr(a),
+                _ => CType::Double,
+            },
+            Expr::LengthOf(_) | Expr::TextLength(_) => CType::Int,
+            Expr::Join(_) | Expr::LetterOf(_, _) => CType::Text,
+            Expr::Split(_, _) => CType::List(Box::new(CType::Text)),
+            Expr::Item(_, list) => match self.infer_expr(list) {
+                CType::List(elem) => *elem,
+                _ => CType::Unknown,
+            },
+            Expr::Contains(_, _) => CType::Bool,
+            Expr::PickRandom(a, b) => self.infer_expr(a).join(&self.infer_expr(b)),
+            Expr::NumbersFromTo(_, _) => CType::List(Box::new(CType::Int)),
+            Expr::Map { list, .. } | Expr::ParallelMap { list, .. } => {
+                // Result element type depends on the ring; default to the
+                // input element type joined with Double.
+                match self.infer_expr(list) {
+                    CType::List(elem) => CType::List(Box::new(elem.join(&CType::Double))),
+                    _ => CType::List(Box::new(CType::Unknown)),
+                }
+            }
+            Expr::Keep { list, .. } => self.infer_expr(list),
+            _ => CType::Unknown,
+        }
+    }
+}
+
+fn infer_constant(c: &Constant) -> CType {
+    match c {
+        Constant::Number(n) if n.fract() == 0.0 => CType::Int,
+        Constant::Number(_) => CType::Double,
+        Constant::Text(_) => CType::Text,
+        Constant::Bool(_) => CType::Bool,
+        Constant::List(items) => {
+            let elem = items
+                .iter()
+                .map(infer_constant)
+                .reduce(|a, b| a.join(&b))
+                .unwrap_or(CType::Unknown);
+            CType::List(Box::new(elem))
+        }
+        Constant::Nothing => CType::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_ast::builder::*;
+
+    #[test]
+    fn integer_literals_infer_int() {
+        let env = TypeEnv::infer_script(&[set_var("x", num(3.0))]);
+        assert_eq!(env.var_type("x"), CType::Int);
+    }
+
+    #[test]
+    fn division_promotes_to_double() {
+        let env = TypeEnv::infer_script(&[set_var("x", div(num(1.0), num(2.0)))]);
+        assert_eq!(env.var_type("x"), CType::Double);
+    }
+
+    #[test]
+    fn joins_across_assignments() {
+        let env = TypeEnv::infer_script(&[
+            set_var("x", num(3.0)),
+            set_var("x", num(1.5)),
+        ]);
+        assert_eq!(env.var_type("x"), CType::Double);
+    }
+
+    #[test]
+    fn list_literal_element_types() {
+        let env = TypeEnv::infer_script(&[set_var("a", number_list([3.0, 7.0, 8.0]))]);
+        assert_eq!(env.var_type("a"), CType::List(Box::new(CType::Int)));
+        assert_eq!(env.var_type("a").c_name(), "int *");
+    }
+
+    #[test]
+    fn for_each_binds_element_type() {
+        let env = TypeEnv::infer_script(&[for_each(
+            "w",
+            split(text("a b"), text(" ")),
+            vec![say(var("w"))],
+        )]);
+        assert_eq!(env.var_type("w"), CType::Text);
+    }
+
+    #[test]
+    fn text_and_number_join_to_any() {
+        let env = TypeEnv::infer_script(&[
+            set_var("x", text("hi")),
+            set_var("x", num(1.0)),
+        ]);
+        assert_eq!(env.var_type("x"), CType::Any);
+        // Unknown still has a usable C spelling.
+        assert_eq!(env.var_type("x").c_name(), "double");
+    }
+
+    #[test]
+    fn loop_variable_type_comes_from_bounds() {
+        let env = TypeEnv::infer_script(&[for_loop(
+            "i",
+            num(1.0),
+            num(10.0),
+            vec![change_var("sum", var("i"))],
+        )]);
+        assert_eq!(env.var_type("i"), CType::Int);
+        // Accumulators take the safe numeric type (see ChangeVar above).
+        assert_eq!(env.var_type("sum"), CType::Double);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the code-mapping layer.
+
+use proptest::prelude::*;
+
+use snap_codegen::gen::sanitize_identifier;
+use snap_codegen::types::CType;
+use snap_codegen::{CodeMapping, Generator, Target, Template};
+
+use snap_ast::builder::*;
+use snap_ast::{BinOp, Expr};
+
+fn arith_expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(|n| num(n as f64)),
+        Just(var("x")),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div)
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b)))
+    })
+}
+
+fn ctype_strategy() -> impl Strategy<Value = CType> {
+    let leaf = prop_oneof![
+        Just(CType::Int),
+        Just(CType::Double),
+        Just(CType::Bool),
+        Just(CType::Text),
+        Just(CType::Unknown),
+        Just(CType::Any),
+    ];
+    leaf.prop_recursive(2, 8, 1, |inner| {
+        inner.prop_map(|t| CType::List(Box::new(t)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn sanitized_identifiers_are_valid_c(name in ".{0,24}") {
+        let id = sanitize_identifier(&name);
+        prop_assert!(!id.is_empty());
+        let mut chars = id.chars();
+        let first = chars.next().unwrap();
+        prop_assert!(first.is_ascii_alphabetic() || first == '_');
+        prop_assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    }
+
+    #[test]
+    fn template_fill_never_panics(text in ".{0,60}", fills in prop::collection::vec(".{0,10}", 0..4)) {
+        let t = Template::new(text);
+        let _ = t.fill(&fills);
+        let _ = t.fill_indented(&fills);
+        let _ = t.max_placeholder();
+    }
+
+    #[test]
+    fn template_without_placeholders_is_identity(
+        text in "[^<]{0,60}",
+        fills in prop::collection::vec(".{0,10}", 0..4)
+    ) {
+        let t = Template::new(text.clone());
+        prop_assert_eq!(t.fill(&fills), text);
+    }
+
+    #[test]
+    fn generated_c_arithmetic_has_balanced_parens(e in arith_expr_strategy()) {
+        let mapping = CodeMapping::preset(Target::C);
+        let mut generator = Generator::new(&mapping);
+        let code = generator.expr(&e).unwrap();
+        let mut depth: i64 = 0;
+        for ch in code.chars() {
+            match ch {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    prop_assert!(depth >= 0, "unbalanced in {code}");
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(depth, 0, "unbalanced in {}", code);
+    }
+
+    #[test]
+    fn all_three_targets_translate_arithmetic(e in arith_expr_strategy()) {
+        for target in [Target::C, Target::JavaScript, Target::Python] {
+            let mapping = CodeMapping::preset(target);
+            let mut generator = Generator::new(&mapping);
+            prop_assert!(generator.expr(&e).is_ok());
+        }
+    }
+
+    #[test]
+    fn ctype_join_is_commutative_and_idempotent(a in ctype_strategy(), b in ctype_strategy()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.join(&a), a.clone());
+    }
+
+    #[test]
+    fn ctype_join_is_associative(
+        a in ctype_strategy(),
+        b in ctype_strategy(),
+        c in ctype_strategy()
+    ) {
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    }
+
+    #[test]
+    fn every_ctype_has_a_c_spelling(t in ctype_strategy()) {
+        prop_assert!(!t.c_name().is_empty());
+    }
+}

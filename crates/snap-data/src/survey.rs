@@ -1,0 +1,227 @@
+//! The Women-in-Computing-Day survey model (paper §5, experiment E9).
+//!
+//! The paper reports aggregate percentages from a brief written survey
+//! of ~100 seventh-grade girls (four groups of 24–25) after the parallel
+//! Snap! activity. We model respondents as categorical draws with the
+//! paper's marginals, generate a cohort deterministically by quota (so
+//! the reported table is recovered exactly at the paper's cohort size),
+//! and tabulate the way the paper does.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Answer to "is computer science a potential career choice for you?"
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CareerChoice {
+    /// Computer science.
+    ComputerScience,
+    /// Something other than computer science.
+    Other,
+    /// No answer / "don't know".
+    NoAnswer,
+}
+
+/// Answer to "was your impression of computer science changed?"
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Impression {
+    /// More favorable than before.
+    MoreFavorable,
+    /// Less favorable.
+    LessFavorable,
+    /// The same / no opinion.
+    Same,
+}
+
+/// One middle-schooler's survey response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// Which of the four 50-minute activity groups she attended.
+    pub group: u8,
+    /// Career-choice answer.
+    pub career: CareerChoice,
+    /// Among non-CS careers: would CS benefit it? (`None` when career
+    /// is CS or unanswered.)
+    pub cs_benefits_career: Option<bool>,
+    /// Impression shift.
+    pub impression: Impression,
+}
+
+/// The aggregate table the paper reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveyTable {
+    /// Respondents.
+    pub n: usize,
+    /// % choosing computer science as a potential career.
+    pub career_cs_pct: f64,
+    /// % choosing something else.
+    pub career_other_pct: f64,
+    /// % giving no answer.
+    pub career_none_pct: f64,
+    /// Of the non-CS group: % saying CS would benefit their career.
+    pub benefit_pct: f64,
+    /// % more favorable impression.
+    pub more_favorable_pct: f64,
+    /// % less favorable.
+    pub less_favorable_pct: f64,
+    /// % same / no opinion.
+    pub same_pct: f64,
+}
+
+/// The paper's §5 numbers.
+pub const PAPER_TABLE: SurveyTable = SurveyTable {
+    n: 100,
+    career_cs_pct: 29.0,
+    career_other_pct: 54.0,
+    career_none_pct: 17.0,
+    benefit_pct: 57.0,
+    more_favorable_pct: 86.0,
+    less_favorable_pct: 9.0,
+    same_pct: 6.0,
+};
+
+/// Generate a cohort whose aggregate matches the paper's marginals by
+/// quota (exact at n=100 up to integer rounding), shuffled
+/// deterministically and split into four groups of 24–25.
+pub fn simulate_cohort(n: usize, seed: u64) -> Vec<Response> {
+    let quota = |pct: f64| -> usize { ((pct / 100.0) * n as f64).round() as usize };
+
+    let n_cs = quota(PAPER_TABLE.career_cs_pct);
+    let n_other = quota(PAPER_TABLE.career_other_pct);
+    let n_none = n.saturating_sub(n_cs + n_other);
+
+    let mut careers = Vec::with_capacity(n);
+    careers.extend(std::iter::repeat_n(CareerChoice::ComputerScience, n_cs));
+    careers.extend(std::iter::repeat_n(CareerChoice::Other, n_other));
+    careers.extend(std::iter::repeat_n(CareerChoice::NoAnswer, n_none));
+
+    // Benefit question: asked of the "other" group only; 57% yes.
+    let n_benefit_yes = ((PAPER_TABLE.benefit_pct / 100.0) * n_other as f64).round() as usize;
+
+    // Impression: 86/9/rest.
+    let n_more = quota(PAPER_TABLE.more_favorable_pct);
+    let n_less = quota(PAPER_TABLE.less_favorable_pct);
+    let n_same = n.saturating_sub(n_more + n_less);
+    let mut impressions = Vec::with_capacity(n);
+    impressions.extend(std::iter::repeat_n(Impression::MoreFavorable, n_more));
+    impressions.extend(std::iter::repeat_n(Impression::LessFavorable, n_less));
+    impressions.extend(std::iter::repeat_n(Impression::Same, n_same));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    careers.shuffle(&mut rng);
+    impressions.shuffle(&mut rng);
+
+    let mut other_seen = 0;
+    careers
+        .into_iter()
+        .zip(impressions)
+        .enumerate()
+        .map(|(i, (career, impression))| {
+            let cs_benefits_career = match career {
+                CareerChoice::Other => {
+                    other_seen += 1;
+                    Some(other_seen <= n_benefit_yes)
+                }
+                _ => None,
+            };
+            Response {
+                group: (i % 4) as u8 + 1,
+                career,
+                cs_benefits_career,
+                impression,
+            }
+        })
+        .collect()
+}
+
+/// Aggregate responses into the paper's table.
+pub fn tabulate(responses: &[Response]) -> SurveyTable {
+    let n = responses.len();
+    let pct = |count: usize, total: usize| {
+        if total == 0 {
+            0.0
+        } else {
+            (count as f64 / total as f64 * 100.0).round()
+        }
+    };
+    let count = |f: &dyn Fn(&Response) -> bool| responses.iter().filter(|r| f(r)).count();
+
+    let cs = count(&|r| r.career == CareerChoice::ComputerScience);
+    let other = count(&|r| r.career == CareerChoice::Other);
+    let none = count(&|r| r.career == CareerChoice::NoAnswer);
+    let benefit_yes = count(&|r| r.cs_benefits_career == Some(true));
+    let more = count(&|r| r.impression == Impression::MoreFavorable);
+    let less = count(&|r| r.impression == Impression::LessFavorable);
+    let same = count(&|r| r.impression == Impression::Same);
+
+    SurveyTable {
+        n,
+        career_cs_pct: pct(cs, n),
+        career_other_pct: pct(other, n),
+        career_none_pct: pct(none, n),
+        benefit_pct: pct(benefit_yes, other),
+        more_favorable_pct: pct(more, n),
+        less_favorable_pct: pct(less, n),
+        same_pct: pct(same, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_recovers_paper_percentages_exactly_at_100() {
+        let cohort = simulate_cohort(100, 2016);
+        let table = tabulate(&cohort);
+        assert_eq!(table.career_cs_pct, 29.0);
+        assert_eq!(table.career_other_pct, 54.0);
+        assert_eq!(table.career_none_pct, 17.0);
+        assert_eq!(table.benefit_pct, 57.0);
+        assert_eq!(table.more_favorable_pct, 86.0);
+        assert_eq!(table.less_favorable_pct, 9.0);
+        // 86 + 9 leaves 5; the paper's 86/9/6 sums to 101 (rounding).
+        assert_eq!(table.same_pct, 5.0);
+    }
+
+    #[test]
+    fn groups_are_four_of_24_to_25() {
+        let cohort = simulate_cohort(99, 1);
+        for g in 1..=4u8 {
+            let size = cohort.iter().filter(|r| r.group == g).count();
+            assert!((24..=25).contains(&size), "group {g} has {size}");
+        }
+    }
+
+    #[test]
+    fn benefit_is_only_asked_of_other_careers() {
+        let cohort = simulate_cohort(100, 3);
+        for r in &cohort {
+            match r.career {
+                CareerChoice::Other => assert!(r.cs_benefits_career.is_some()),
+                _ => assert!(r.cs_benefits_career.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_in_seed() {
+        assert_eq!(simulate_cohort(100, 5), simulate_cohort(100, 5));
+        assert_ne!(simulate_cohort(100, 5), simulate_cohort(100, 6));
+    }
+
+    #[test]
+    fn scales_to_other_cohort_sizes() {
+        let table = tabulate(&simulate_cohort(1000, 7));
+        assert!((table.career_cs_pct - 29.0).abs() <= 1.0);
+        assert!((table.benefit_pct - 57.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn empty_cohort_tabulates_to_zeros() {
+        let table = tabulate(&[]);
+        assert_eq!(table.n, 0);
+        assert_eq!(table.career_cs_pct, 0.0);
+        assert_eq!(table.benefit_pct, 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the data generators.
+
+use proptest::prelude::*;
+
+use snap_data::io::{parse_csv, parse_list};
+use snap_data::{
+    generate_noaa, generate_words, reference_counts, simulate_cohort, tabulate, NoaaConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn noaa_row_counts_follow_config(
+        stations in 1usize..8,
+        years in 1u32..6,
+        per_year in 1u16..20,
+        seed in any::<u64>()
+    ) {
+        let d = generate_noaa(&NoaaConfig {
+            stations,
+            years,
+            readings_per_year: per_year,
+            seed,
+            ..NoaaConfig::default()
+        });
+        prop_assert_eq!(d.stations.len(), stations);
+        prop_assert_eq!(
+            d.readings.len(),
+            stations * years as usize * per_year as usize
+        );
+    }
+
+    #[test]
+    fn noaa_temperatures_stay_physical(seed in any::<u64>()) {
+        let d = generate_noaa(&NoaaConfig {
+            stations: 6,
+            years: 3,
+            readings_per_year: 24,
+            seed,
+            ..NoaaConfig::default()
+        });
+        for r in &d.readings {
+            prop_assert!((-80.0..160.0).contains(&r.temp_f), "outlier {r:?}");
+        }
+    }
+
+    #[test]
+    fn noaa_is_a_pure_function_of_its_config(seed in any::<u64>()) {
+        let cfg = NoaaConfig {
+            stations: 4,
+            years: 2,
+            readings_per_year: 6,
+            seed,
+            ..NoaaConfig::default()
+        };
+        prop_assert_eq!(generate_noaa(&cfg).readings, generate_noaa(&cfg).readings);
+    }
+
+    #[test]
+    fn corpus_counts_sum_to_corpus_size(n in 0usize..3000, seed in any::<u64>()) {
+        let words = generate_words(n, seed);
+        prop_assert_eq!(words.len(), n);
+        let counts = reference_counts(&words);
+        prop_assert_eq!(counts.iter().map(|(_, c)| *c).sum::<u64>(), n as u64);
+    }
+
+    #[test]
+    fn survey_marginals_hold_at_any_cohort_size(n in 20usize..400, seed in any::<u64>()) {
+        let table = tabulate(&simulate_cohort(n, seed));
+        prop_assert_eq!(table.n, n);
+        // Quota sampling keeps each marginal within rounding of the paper.
+        let slack = 100.0 / n as f64 + 1.0;
+        prop_assert!((table.career_cs_pct - 29.0).abs() <= slack);
+        prop_assert!((table.more_favorable_pct - 86.0).abs() <= slack);
+        // Career categories partition the cohort.
+        prop_assert!(
+            (table.career_cs_pct + table.career_other_pct + table.career_none_pct
+                - 100.0)
+                .abs()
+                <= 2.0
+        );
+    }
+
+    #[test]
+    fn parse_list_never_panics_and_preserves_line_count(text in "(?s).{0,400}") {
+        let lines = text.lines().count();
+        let list = parse_list(&text);
+        prop_assert_eq!(list.len(), lines);
+    }
+
+    #[test]
+    fn parse_csv_never_panics(text in "(?s).{0,400}") {
+        let _ = parse_csv(&text);
+    }
+}

@@ -1,0 +1,152 @@
+//! The worker-pool backend for the VM.
+//!
+//! Installing a [`WorkerBackend`] on a [`snap_vm::Vm`] switches its
+//! `parallelMap`/`mapReduce` blocks from the sequential fallback to true
+//! parallelism — the moment the paper's extended Snap! gains Web Workers.
+
+use std::sync::Arc;
+
+use snap_ast::{EvalError, Ring, Value};
+use snap_vm::{ParallelBackend, Vm};
+use snap_workers::{Isolation, RingMapOptions, Strategy};
+
+use crate::blocks;
+
+/// [`ParallelBackend`] implementation on OS-thread workers.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerBackend {
+    /// Work-distribution strategy.
+    pub strategy: Strategy,
+    /// Boundary-crossing semantics (Copy = Web Worker structured clone).
+    pub isolation: Isolation,
+}
+
+impl Default for WorkerBackend {
+    fn default() -> Self {
+        WorkerBackend {
+            strategy: Strategy::Dynamic,
+            isolation: Isolation::Copy,
+        }
+    }
+}
+
+impl WorkerBackend {
+    fn options(&self, workers: usize) -> RingMapOptions {
+        RingMapOptions {
+            workers,
+            strategy: self.strategy,
+            isolation: self.isolation,
+            ..Default::default()
+        }
+    }
+}
+
+impl ParallelBackend for WorkerBackend {
+    fn parallel_map(
+        &self,
+        ring: Arc<Ring>,
+        items: Vec<Value>,
+        workers: usize,
+    ) -> Result<Vec<Value>, EvalError> {
+        snap_workers::ring_map(ring, items, self.options(workers))
+    }
+
+    fn map_reduce(
+        &self,
+        mapper: Arc<Ring>,
+        reducer: Arc<Ring>,
+        items: Vec<Value>,
+        workers: usize,
+    ) -> Result<Vec<Value>, EvalError> {
+        let options = self.options(workers);
+        let pairs = snap_workers::ring_map_pairs(mapper, items, options)?;
+        let groups = crate::shuffle::shuffle(pairs);
+        snap_workers::ring_reduce_groups(reducer, groups, options)
+    }
+
+    fn name(&self) -> &'static str {
+        "worker-pool"
+    }
+}
+
+/// Install the true-parallel backend on a VM (in place).
+pub fn install(vm: &mut Vm) {
+    vm.world.set_backend(Arc::new(WorkerBackend::default()));
+}
+
+/// Convenience: run a ring over items with the default backend (used by
+/// benches that bypass the VM).
+pub fn backend_parallel_map(
+    ring: Arc<Ring>,
+    items: Vec<Value>,
+    workers: usize,
+) -> Result<Vec<Value>, EvalError> {
+    blocks::parallel_map(ring, items, workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_ast::builder::*;
+    use snap_ast::{Project, Script, SpriteDef};
+
+    #[test]
+    fn installed_backend_reports_worker_pool() {
+        let project = Project::new("t").with_sprite(SpriteDef::new("S"));
+        let mut vm = Vm::new(project);
+        assert_eq!(vm.world.backend.name(), "sequential");
+        install(&mut vm);
+        assert_eq!(vm.world.backend.name(), "worker-pool");
+    }
+
+    #[test]
+    fn vm_parallel_map_runs_on_workers_with_same_results() {
+        let project = Project::new("t").with_sprite(SpriteDef::new("S").with_script(
+            Script::on_green_flag(vec![say(parallel_map_with_workers(
+                ring_reporter(mul(empty_slot(), num(10.0))),
+                number_list([3.0, 7.0, 8.0]),
+                num(4.0),
+            ))]),
+        ));
+        let mut vm = Vm::new(project);
+        install(&mut vm);
+        vm.green_flag();
+        vm.run_until_idle();
+        assert_eq!(vm.world.said(), vec!["[30, 70, 80]"]);
+        assert!(vm.world.errors.is_empty());
+    }
+
+    #[test]
+    fn vm_map_reduce_runs_on_workers() {
+        let project = Project::new("t").with_sprite(SpriteDef::new("S").with_script(
+            Script::on_green_flag(vec![say(map_reduce(
+                ring_reporter_with(vec!["w"], make_list(vec![var("w"), num(1.0)])),
+                ring_reporter_with(
+                    vec!["vals"],
+                    combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+                ),
+                split(text("b a b"), text(" ")),
+            ))]),
+        ));
+        let mut vm = Vm::new(project);
+        install(&mut vm);
+        vm.green_flag();
+        vm.run_until_idle();
+        assert_eq!(vm.world.said(), vec!["[[a, 1], [b, 2]]"]);
+    }
+
+    #[test]
+    fn sequential_and_parallel_backends_agree() {
+        let expr = parallel_map_over(
+            ring_reporter(add(pow(empty_slot(), num(2.0)), num(1.0))),
+            numbers_from_to(num(1.0), num(50.0)),
+        );
+        let project = || Project::new("t").with_sprite(SpriteDef::new("S"));
+        let mut seq_vm = Vm::new(project());
+        let seq = seq_vm.eval_expr(Some("S"), &expr).unwrap();
+        let mut par_vm = Vm::new(project());
+        install(&mut par_vm);
+        let par = par_vm.eval_expr(Some("S"), &expr).unwrap();
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,182 @@
+//! The parallel blocks, as plain functions.
+//!
+//! These are the semantics of the paper's three new blocks, exposed for
+//! embedding code and the benchmark harness. Scripts running inside the
+//! VM reach the same implementations through [`crate::WorkerBackend`].
+
+use std::sync::Arc;
+
+use snap_ast::{EvalError, Ring, Value};
+use snap_workers::{ring_map, ring_map_pairs, ring_reduce_groups, RingMapOptions};
+
+use crate::shuffle::shuffle;
+
+/// `parallelMap <ring> over <list>` (paper §3.2): apply the ring to every
+/// item on `workers` true parallel workers; results in input order.
+pub fn parallel_map(
+    ring: Arc<Ring>,
+    items: Vec<Value>,
+    workers: usize,
+) -> Result<Vec<Value>, EvalError> {
+    ring_map(
+        ring,
+        items,
+        RingMapOptions {
+            workers,
+            ..Default::default()
+        },
+    )
+}
+
+/// `mapReduce <mapper> <reducer> over <list>` (paper §3.4): parallel map
+/// phase producing `[key, value]` pairs, sort-by-key shuffle, then a
+/// parallel reduce phase — one reducer call per key, receiving that key's
+/// value list. Returns `[key, reduced]` pairs in key order.
+pub fn map_reduce(
+    mapper: Arc<Ring>,
+    reducer: Arc<Ring>,
+    items: Vec<Value>,
+    workers: usize,
+) -> Result<Vec<Value>, EvalError> {
+    let options = RingMapOptions {
+        workers,
+        ..Default::default()
+    };
+    let pairs = ring_map_pairs(mapper, items, options)?;
+    let groups = shuffle(pairs);
+    ring_reduce_groups(reducer, groups, options)
+}
+
+/// `parallelForEach` over plain Rust data: run `f` once per item with
+/// true parallelism. The in-VM block spawns sprite clones instead (see
+/// `snap-vm`); this is the embedding-API equivalent.
+pub fn parallel_for_each<T: Send + Sync>(
+    items: Vec<T>,
+    workers: usize,
+    f: impl Fn(&T) + Send + Sync,
+) {
+    snap_workers::Parallel::new(items)
+        .with_max_workers(workers)
+        .for_each(f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{map_reduce as run_map_reduce, parallel_for_each, parallel_map};
+    use super::{Arc, Ring, Value};
+    use snap_ast::builder::*;
+
+    #[test]
+    fn parallel_map_times_ten() {
+        let ring = Arc::new(Ring::reporter(mul(empty_slot(), num(10.0))));
+        let out = parallel_map(ring, vec![3.into(), 7.into(), 8.into()], 4).unwrap();
+        assert_eq!(out, vec![30.into(), 70.into(), 80.into()]);
+    }
+
+    #[test]
+    fn map_reduce_word_count_matches_paper_fig12() {
+        // Figure 11/12: word count over a sentence; output is the sorted
+        // unique words with their counts.
+        let mapper = Arc::new(Ring::reporter_with_params(
+            vec!["w".into()],
+            make_list(vec![var("w"), num(1.0)]),
+        ));
+        let reducer = Arc::new(Ring::reporter_with_params(
+            vec!["vals".into()],
+            combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+        ));
+        let words: Vec<Value> = "the quick brown fox jumps over the lazy dog the end"
+            .split(' ')
+            .map(Value::from)
+            .collect();
+        let out = run_map_reduce(mapper, reducer, words, 4).unwrap();
+        let rendered: Vec<String> = out.iter().map(Value::to_display_string).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "[brown, 1]",
+                "[dog, 1]",
+                "[end, 1]",
+                "[fox, 1]",
+                "[jumps, 1]",
+                "[lazy, 1]",
+                "[over, 1]",
+                "[quick, 1]",
+                "[the, 3]",
+            ]
+        );
+    }
+
+    #[test]
+    fn map_reduce_climate_average_matches_paper_fig13() {
+        // Figure 13: mapper converts °F to °C, reducer averages. A single
+        // shared key averages the whole dataset.
+        let mapper = Arc::new(Ring::reporter_with_params(
+            vec!["t".into()],
+            make_list(vec![
+                text("avg"),
+                div(mul(num(5.0), sub(var("t"), num(32.0))), num(9.0)),
+            ]),
+        ));
+        let reducer = Arc::new(Ring::reporter_with_params(
+            vec!["vals".into()],
+            div(
+                combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+                length_of(var("vals")),
+            ),
+        ));
+        // 32 °F → 0 °C, 212 °F → 100 °C: average 50 °C.
+        let out = run_map_reduce(mapper, reducer, vec![32.into(), 212.into()], 4).unwrap();
+        assert_eq!(out.len(), 1);
+        let pair = out[0].as_list().unwrap();
+        assert_eq!(pair.item(1).unwrap(), Value::text("avg"));
+        assert!((pair.item(2).unwrap().to_number() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_map_function_passes_through() {
+        // §3.4: "the map or reduce functions can express the identity
+        // function which passes its input argument through unchanged" —
+        // here an identity-shaped mapper emits [item, item].
+        let mapper = Arc::new(Ring::reporter_with_params(
+            vec!["x".into()],
+            make_list(vec![var("x"), var("x")]),
+        ));
+        let reducer = Arc::new(Ring::reporter_with_params(
+            vec!["vals".into()],
+            item(num(1.0), var("vals")),
+        ));
+        let out = run_map_reduce(mapper, reducer, vec![2.into(), 1.into()], 2).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                Value::list(vec![1.into(), 1.into()]),
+                Value::list(vec![2.into(), 2.into()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        parallel_for_each((0..50).collect::<Vec<i32>>(), 4, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let ring = Arc::new(Ring::reporter(pow(empty_slot(), num(2.0))));
+        let items: Vec<Value> = (1..=100).map(|n| Value::Number(n as f64)).collect();
+        let expected = parallel_map(ring.clone(), items.clone(), 1).unwrap();
+        for workers in [2, 3, 4, 8, 16] {
+            assert_eq!(
+                parallel_map(ring.clone(), items.clone(), workers).unwrap(),
+                expected,
+                "worker count {workers} changed the result"
+            );
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Inter-node parallelism — a simulated cluster executing `parallelMap`.
+//!
+//! §6.3 closes with "we also wish to extend Snap! to extract even more
+//! intra-node parallelism as well as support inter-node parallelism."
+//! We have one machine, so the inter-node half is the documented
+//! substitution: results are computed for real (every item goes through
+//! the same compiled ring as the worker pool), while *time* is modeled
+//! with an explicit cost accounting — per-item compute cost, per-item
+//! network transfer, and per-node startup — so node-count scaling and
+//! its crossovers are measurable deterministically on any host.
+//!
+//! The model is the classic master/worker offload with a serialized
+//! master link (the Amdahl term that makes network-bound work saturate):
+//!
+//! ```text
+//! t_net     = 2·net·total_items                  (scatter + gather, serial at the master)
+//! t(node)   = startup + ceil(items(node)/cores)·compute
+//! makespan  = t_net + max over nodes t(node)
+//! speedup   = makespan(1 node) / makespan
+//! ```
+
+use std::sync::Arc;
+
+use snap_ast::{EvalError, PureFn, Ring, Value};
+
+/// Cost model of the simulated cluster, in abstract cost units
+/// (think microseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Cores per node (intra-node parallelism).
+    pub cores_per_node: usize,
+    /// Compute cost of one item on one core.
+    pub compute_cost: u64,
+    /// Network cost of moving one item to or from a node.
+    pub net_cost_per_item: u64,
+    /// Fixed cost of involving a node at all (process launch, connect).
+    pub startup_cost: u64,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            nodes: 4,
+            cores_per_node: 4,
+            compute_cost: 100,
+            net_cost_per_item: 5,
+            startup_cost: 1_000,
+        }
+    }
+}
+
+/// The outcome of a simulated distributed map.
+#[derive(Debug, Clone)]
+pub struct DistributedOutcome {
+    /// The (real) results, in input order.
+    pub results: Vec<Value>,
+    /// Modeled completion time: master-link transfer plus the slowest
+    /// node's compute.
+    pub makespan: u64,
+    /// Modeled serialized transfer time at the master.
+    pub master_net_time: u64,
+    /// Modeled per-node busy time (startup + compute waves).
+    pub per_node_time: Vec<u64>,
+    /// Items assigned per node.
+    pub per_node_items: Vec<usize>,
+}
+
+impl DistributedOutcome {
+    /// Modeled speedup over running everything on a single node of the
+    /// same spec.
+    pub fn speedup_vs_single_node(&self, spec: &ClusterSpec, total_items: usize) -> f64 {
+        let single = master_net_time(spec, total_items) + node_time(spec, total_items);
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        single as f64 / self.makespan as f64
+    }
+}
+
+/// Modeled serialized transfer time at the master (scatter + gather).
+pub fn master_net_time(spec: &ClusterSpec, total_items: usize) -> u64 {
+    2 * spec.net_cost_per_item * total_items as u64
+}
+
+/// Modeled busy time of one node given its item share (startup plus
+/// compute waves; transfers are accounted at the master).
+pub fn node_time(spec: &ClusterSpec, items: usize) -> u64 {
+    if items == 0 {
+        return 0;
+    }
+    let cores = spec.cores_per_node.max(1) as u64;
+    let waves = (items as u64).div_ceil(cores);
+    spec.startup_cost + waves * spec.compute_cost
+}
+
+/// Run a ring over items on the simulated cluster: block-partition
+/// across nodes, evaluate for real, account modeled time.
+pub fn distributed_map(
+    ring: Arc<Ring>,
+    items: Vec<Value>,
+    spec: &ClusterSpec,
+) -> Result<DistributedOutcome, EvalError> {
+    let f = PureFn::compile(ring)?;
+    let nodes = spec.nodes.max(1);
+    let total = items.len();
+    let chunk = total.div_ceil(nodes).max(1);
+
+    let mut results = Vec::with_capacity(total);
+    let mut per_node_time = Vec::with_capacity(nodes);
+    let mut per_node_items = Vec::with_capacity(nodes);
+    for node in 0..nodes {
+        let start = node * chunk;
+        let end = ((node + 1) * chunk).min(total);
+        let share = end.saturating_sub(start);
+        per_node_items.push(share);
+        per_node_time.push(if share > 0 { node_time(spec, share) } else { 0 });
+        for item in &items[start.min(total)..end] {
+            // Network transfer = structured clone, like the worker pool.
+            results.push(f.call1(item.deep_copy())?.deep_copy());
+        }
+    }
+    let master_net_time = master_net_time(spec, total);
+    let makespan = if total == 0 {
+        0
+    } else {
+        master_net_time + per_node_time.iter().copied().max().unwrap_or(0)
+    };
+    Ok(DistributedOutcome {
+        results,
+        makespan,
+        master_net_time,
+        per_node_time,
+        per_node_items,
+    })
+}
+
+/// Sweep node counts and return `(nodes, makespan, speedup)` rows — the
+/// series a strong-scaling plot shows.
+pub fn strong_scaling_sweep(
+    ring: Arc<Ring>,
+    items: Vec<Value>,
+    base: &ClusterSpec,
+    node_counts: &[usize],
+) -> Result<Vec<(usize, u64, f64)>, EvalError> {
+    let total = items.len();
+    let mut rows = Vec::with_capacity(node_counts.len());
+    for &nodes in node_counts {
+        let spec = ClusterSpec { nodes, ..*base };
+        let outcome = distributed_map(ring.clone(), items.clone(), &spec)?;
+        let speedup = outcome.speedup_vs_single_node(&spec, total);
+        rows.push((nodes, outcome.makespan, speedup));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_ast::builder::*;
+
+    fn times_ten() -> Arc<Ring> {
+        Arc::new(Ring::reporter(mul(empty_slot(), num(10.0))))
+    }
+
+    #[test]
+    fn results_are_real_and_ordered() {
+        let items: Vec<Value> = (1..=10).map(|n| Value::Number(n as f64)).collect();
+        let outcome = distributed_map(times_ten(), items, &ClusterSpec::default()).unwrap();
+        let expected: Vec<Value> = (1..=10).map(|n| Value::Number(n as f64 * 10.0)).collect();
+        assert_eq!(outcome.results, expected);
+    }
+
+    #[test]
+    fn more_nodes_reduce_makespan_for_compute_heavy_work() {
+        let spec = |nodes| ClusterSpec {
+            nodes,
+            compute_cost: 1_000,
+            net_cost_per_item: 1,
+            startup_cost: 10,
+            cores_per_node: 1,
+        };
+        let items: Vec<Value> = (0..64).map(|n| Value::Number(n as f64)).collect();
+        let one = distributed_map(times_ten(), items.clone(), &spec(1)).unwrap();
+        let four = distributed_map(times_ten(), items.clone(), &spec(4)).unwrap();
+        let sixteen = distributed_map(times_ten(), items, &spec(16)).unwrap();
+        assert!(four.makespan < one.makespan);
+        assert!(sixteen.makespan < four.makespan);
+        // Near-ideal: 64 items / 16 nodes = 4 waves of compute.
+        let speedup = sixteen.speedup_vs_single_node(&spec(16), 64);
+        assert!(speedup > 10.0, "got {speedup}");
+    }
+
+    #[test]
+    fn network_bound_work_stops_scaling() {
+        // When moving an item costs more than computing it, extra nodes
+        // barely help (scatter/gather dominates each node's share) —
+        // the crossover the cost model must expose.
+        let spec = |nodes| ClusterSpec {
+            nodes,
+            compute_cost: 1,
+            net_cost_per_item: 500,
+            startup_cost: 50_000,
+            cores_per_node: 4,
+        };
+        let items: Vec<Value> = (0..64).map(|n| Value::Number(n as f64)).collect();
+        let rows = strong_scaling_sweep(
+            times_ten(),
+            items,
+            &spec(1),
+            &[1, 2, 4, 8, 16],
+        )
+        .unwrap();
+        let speedup_at_16 = rows.last().unwrap().2;
+        assert!(
+            speedup_at_16 < 4.0,
+            "network-bound work must not scale ideally: {speedup_at_16}"
+        );
+    }
+
+    #[test]
+    fn startup_cost_makes_small_jobs_prefer_fewer_nodes() {
+        let spec = ClusterSpec {
+            nodes: 1,
+            compute_cost: 10,
+            net_cost_per_item: 1,
+            startup_cost: 100_000,
+            cores_per_node: 1,
+        };
+        let items: Vec<Value> = (0..8).map(|n| Value::Number(n as f64)).collect();
+        let rows =
+            strong_scaling_sweep(times_ten(), items, &spec, &[1, 8]).unwrap();
+        let (_, t1, _) = rows[0];
+        let (_, t8, speedup8) = rows[1];
+        // 8 nodes pay 8 startups (in parallel) and save almost no
+        // compute: the makespan barely moves and the speedup is ~1×.
+        assert!(t8 > t1 * 99 / 100, "t8 {t8} vs t1 {t1}");
+        assert!(speedup8 < 1.01, "startup-bound speedup was {speedup8}");
+    }
+
+    #[test]
+    fn per_node_accounting_sums_to_all_items() {
+        let items: Vec<Value> = (0..37).map(|n| Value::Number(n as f64)).collect();
+        let outcome = distributed_map(
+            times_ten(),
+            items,
+            &ClusterSpec {
+                nodes: 5,
+                ..ClusterSpec::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.per_node_items.iter().sum::<usize>(), 37);
+        assert_eq!(outcome.per_node_time.len(), 5);
+        assert_eq!(
+            outcome.makespan,
+            outcome.master_net_time + *outcome.per_node_time.iter().max().unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_input_is_free() {
+        let outcome =
+            distributed_map(times_ten(), Vec::new(), &ClusterSpec::default()).unwrap();
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.makespan, 0);
+    }
+
+    #[test]
+    fn intra_node_cores_shorten_waves() {
+        let base = ClusterSpec {
+            nodes: 1,
+            compute_cost: 100,
+            net_cost_per_item: 0,
+            startup_cost: 0,
+            cores_per_node: 1,
+        };
+        assert_eq!(node_time(&base, 8), 800);
+        let quad = ClusterSpec {
+            cores_per_node: 4,
+            ..base
+        };
+        assert_eq!(node_time(&quad, 8), 200);
+    }
+}

@@ -1,0 +1,69 @@
+//! The shuffle between MapReduce's phases.
+//!
+//! "The elements of the intermediate result are sorted by the value of
+//! the key in between the map function and the reduce function, as
+//! required by the semantics of MapReduce" (paper §3.4, footnote 6).
+
+use snap_ast::Value;
+
+/// Sort `[key, value]` pairs by key (stable, so mapper output order is
+/// preserved within a key) and group equal keys.
+pub fn shuffle(mut pairs: Vec<(Value, Value)>) -> Vec<(Value, Vec<Value>)> {
+    pairs.sort_by(|a, b| a.0.snap_cmp(&b.0));
+    let mut groups: Vec<(Value, Vec<Value>)> = Vec::new();
+    for (key, value) in pairs {
+        match groups.last_mut() {
+            Some((k, values)) if k.loose_eq(&key) => values.push(value),
+            _ => groups.push((key, vec![value])),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffle_sorts_and_groups() {
+        let pairs = vec![
+            ("b".into(), 1.into()),
+            ("a".into(), 2.into()),
+            ("b".into(), 3.into()),
+            ("a".into(), 4.into()),
+        ];
+        let groups = shuffle(pairs);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, Value::text("a"));
+        assert_eq!(groups[0].1, vec![2.into(), 4.into()]); // stable order
+        assert_eq!(groups[1].0, Value::text("b"));
+        assert_eq!(groups[1].1, vec![1.into(), 3.into()]);
+    }
+
+    #[test]
+    fn numeric_keys_sort_numerically() {
+        let pairs = vec![
+            (10.into(), "x".into()),
+            (2.into(), "y".into()),
+        ];
+        let groups = shuffle(pairs);
+        assert_eq!(groups[0].0, Value::Number(2.0));
+    }
+
+    #[test]
+    fn keys_group_loosely() {
+        // "The" and "the" are the same key under Snap! equality.
+        let pairs = vec![
+            ("The".into(), 1.into()),
+            ("the".into(), 1.into()),
+        ];
+        let groups = shuffle(pairs);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].1.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_no_groups() {
+        assert!(shuffle(Vec::new()).is_empty());
+    }
+}

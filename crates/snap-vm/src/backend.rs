@@ -1,0 +1,196 @@
+//! The hook through which the VM reaches true parallelism.
+//!
+//! The VM itself is single-threaded and cooperative, exactly like the
+//! browser thread that hosts Snap! (paper §2). When a script evaluates a
+//! `parallelMap` or `mapReduce` block, the VM hands the (ringified,
+//! environment-capturing) function and the input data to a
+//! [`ParallelBackend`] — the seam where the paper plugs in HTML5 Web
+//! Workers via Parallel.js (§4.1).
+//!
+//! Two implementations exist:
+//! * [`SequentialBackend`] (here) — evaluates in-thread; what Snap! does
+//!   when no workers are available. Installed by default.
+//! * `WorkerPoolBackend` (in `snap-parallel`) — real OS threads standing
+//!   in for Web Workers.
+
+use std::sync::Arc;
+
+use snap_ast::{EvalError, PureFn, Ring, Value};
+
+/// Implementation of the truly parallel blocks.
+pub trait ParallelBackend: Send + Sync {
+    /// `parallelMap <ring> over <list>` with `workers` workers: apply
+    /// `ring` to each item and return the results in input order.
+    fn parallel_map(
+        &self,
+        ring: Arc<Ring>,
+        items: Vec<Value>,
+        workers: usize,
+    ) -> Result<Vec<Value>, EvalError>;
+
+    /// `mapReduce <mapper> <reducer> over <list>`: map each item to a
+    /// `[key, value]` pair, sort/group by key, reduce each group, and
+    /// return the sorted `[key, reduced]` list.
+    fn map_reduce(
+        &self,
+        mapper: Arc<Ring>,
+        reducer: Arc<Ring>,
+        items: Vec<Value>,
+        workers: usize,
+    ) -> Result<Vec<Value>, EvalError>;
+
+    /// Human-readable backend name (shows up in diagnostics).
+    fn name(&self) -> &'static str;
+}
+
+/// In-thread fallback backend: the degradation Snap! performs when Web
+/// Workers are unavailable. Semantically identical to the parallel
+/// backend, so tests can compare outputs.
+pub struct SequentialBackend;
+
+impl ParallelBackend for SequentialBackend {
+    fn parallel_map(
+        &self,
+        ring: Arc<Ring>,
+        items: Vec<Value>,
+        _workers: usize,
+    ) -> Result<Vec<Value>, EvalError> {
+        let f = PureFn::compile(ring)?;
+        items.into_iter().map(|item| f.call1(item)).collect()
+    }
+
+    fn map_reduce(
+        &self,
+        mapper: Arc<Ring>,
+        reducer: Arc<Ring>,
+        items: Vec<Value>,
+        _workers: usize,
+    ) -> Result<Vec<Value>, EvalError> {
+        let map_fn = PureFn::compile(mapper)?;
+        let reduce_fn = PureFn::compile(reducer)?;
+        let pairs = items
+            .into_iter()
+            .map(|item| map_fn.call1(item))
+            .collect::<Result<Vec<_>, _>>()?;
+        reduce_groups(pairs, |values| {
+            reduce_fn.call1(Value::list(values))
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+/// Shared shuffle + reduce logic: sort the `[key, value]` pairs by key
+/// (the sort "required by the semantics of MapReduce", paper §3.4
+/// footnote 6), group equal keys, and reduce each group's value list.
+///
+/// `reduce_one` receives the values for one key and returns the reduced
+/// value. The output is a list of `[key, reduced]` pairs in key order.
+pub fn reduce_groups(
+    pairs: Vec<Value>,
+    mut reduce_one: impl FnMut(Vec<Value>) -> Result<Value, EvalError>,
+) -> Result<Vec<Value>, EvalError> {
+    // Split each mapper output into (key, value).
+    let mut kv: Vec<(Value, Value)> = Vec::with_capacity(pairs.len());
+    for pair in pairs {
+        let list = pair.as_list().ok_or_else(|| EvalError::TypeMismatch {
+            expected: "[key, value] pair from the map function",
+            got: pair.to_display_string(),
+        })?;
+        let key = list.item(1).unwrap_or(Value::Nothing);
+        let value = list.item(2).unwrap_or(Value::Nothing);
+        kv.push((key, value));
+    }
+    // Stable sort on keys preserves mapper output order within a key.
+    kv.sort_by(|a, b| a.0.snap_cmp(&b.0));
+
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < kv.len() {
+        let key = kv[i].0.clone();
+        let mut values = Vec::new();
+        while i < kv.len() && kv[i].0.loose_eq(&key) {
+            values.push(kv[i].1.clone());
+            i += 1;
+        }
+        let reduced = reduce_one(values)?;
+        out.push(Value::list(vec![key, reduced]));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_ast::builder::*;
+
+    #[test]
+    fn sequential_parallel_map_matches_paper_fig6() {
+        let backend = SequentialBackend;
+        let ring = Arc::new(Ring::reporter(mul(empty_slot(), num(10.0))));
+        let out = backend
+            .parallel_map(
+                ring,
+                vec![3.into(), 7.into(), 8.into()],
+                4,
+            )
+            .unwrap();
+        assert_eq!(out, vec![30.into(), 70.into(), 80.into()]);
+    }
+
+    #[test]
+    fn reduce_groups_sorts_and_groups() {
+        let pairs = vec![
+            Value::list(vec!["b".into(), 1.into()]),
+            Value::list(vec!["a".into(), 2.into()]),
+            Value::list(vec!["b".into(), 3.into()]),
+        ];
+        let out = reduce_groups(pairs, |values| {
+            Ok(Value::Number(
+                values.iter().map(Value::to_number).sum::<f64>(),
+            ))
+        })
+        .unwrap();
+        assert_eq!(
+            out,
+            vec![
+                Value::list(vec!["a".into(), 2.into()]),
+                Value::list(vec!["b".into(), 4.into()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn reduce_groups_rejects_non_pairs() {
+        let err = reduce_groups(vec![Value::Number(3.0)], |_| Ok(Value::Nothing));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sequential_map_reduce_word_count_shape() {
+        // mapper: word -> [word, 1]; reducer: sum of values
+        let backend = SequentialBackend;
+        let mapper = Arc::new(Ring::reporter_with_params(
+            vec!["w".into()],
+            make_list(vec![var("w"), num(1.0)]),
+        ));
+        let reducer = Arc::new(Ring::reporter_with_params(
+            vec!["vals".into()],
+            combine_using(
+                var("vals"),
+                ring_reporter(add(empty_slot(), empty_slot())),
+            ),
+        ));
+        let words: Vec<Value> = ["the", "cat", "the"].iter().map(|&w| w.into()).collect();
+        let out = backend.map_reduce(mapper, reducer, words, 4).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                Value::list(vec!["cat".into(), 1.into()]),
+                Value::list(vec!["the".into(), 2.into()]),
+            ]
+        );
+    }
+}

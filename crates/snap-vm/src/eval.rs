@@ -1,0 +1,879 @@
+//! The full expression evaluator — reporter blocks with world access.
+//!
+//! Unlike the pure evaluator in `snap-ast` (which is what worker threads
+//! run), this evaluator sees the whole [`World`]: variables in every
+//! scope, sprite attributes, the timer, the RNG, and custom reporter
+//! blocks. Expressions evaluate synchronously and never yield — Snap!'s
+//! scheduler switches processes between *statements*, and so does ours.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rand::RngExt;
+
+use snap_ast::pure::{eval_binop, eval_unop, numbers_from_to};
+use snap_ast::{
+    Attr, BlockKind, EvalError, Expr, List, PureFn, Ring, RingBody, RingExprBody, Stmt, Value,
+};
+
+use crate::error::VmError;
+use crate::process::ScopeStack;
+use crate::world::{SpriteId, World};
+
+/// Recursion limit for ring application and custom-block calls.
+const MAX_DEPTH: u32 = 64;
+/// Statement budget for synchronous (reporter-body) execution.
+const SYNC_OP_BUDGET: u64 = 50_000_000;
+
+/// Everything an expression can see while evaluating.
+pub struct EvalCtx<'a> {
+    /// The world (mutable: `pick random` advances the RNG, reporters may
+    /// `say`).
+    pub world: &'a mut World,
+    /// The sprite whose script is evaluating.
+    pub sprite: SpriteId,
+    /// The running process's scope stack.
+    pub scopes: &'a mut ScopeStack,
+    /// Current scheduler timestep (for the `timer` reporter).
+    pub timestep: u64,
+    /// Recursion depth.
+    pub depth: u32,
+    /// Remaining synchronous statement budget.
+    pub ops_left: u64,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Build a context with fresh depth/budget counters.
+    pub fn new(
+        world: &'a mut World,
+        sprite: SpriteId,
+        scopes: &'a mut ScopeStack,
+        timestep: u64,
+    ) -> EvalCtx<'a> {
+        EvalCtx {
+            world,
+            sprite,
+            scopes,
+            timestep,
+            depth: 0,
+            ops_left: SYNC_OP_BUDGET,
+        }
+    }
+
+    /// Look up a variable: process scopes, then sprite variables, then
+    /// globals.
+    pub fn lookup(&self, name: &str) -> Result<Value, VmError> {
+        if let Some(v) = self.scopes.get(name) {
+            return Ok(v.clone());
+        }
+        if let Some(v) = self.world.sprites[self.sprite].vars.get(name) {
+            return Ok(v.clone());
+        }
+        if let Some(v) = self.world.globals.get(name) {
+            return Ok(v.clone());
+        }
+        Err(EvalError::UnboundVariable(name.to_owned()).into())
+    }
+
+    /// Assign a variable: innermost scope binding, else sprite variable,
+    /// else existing global, else *create* a global (a deliberate,
+    /// forgiving deviation from Snap!, which raises an error — it keeps
+    /// programmatic project construction pleasant).
+    pub fn assign(&mut self, name: &str, value: Value) {
+        if self.scopes.set(name, value.clone()) {
+            return;
+        }
+        if let Some(slot) = self.world.sprites[self.sprite].vars.get_mut(name) {
+            *slot = value;
+            return;
+        }
+        self.world.globals.insert(name.to_owned(), value);
+    }
+
+    /// Evaluate a reporter block.
+    pub fn eval(&mut self, expr: &Expr) -> Result<Value, VmError> {
+        match expr {
+            Expr::Literal(c) => Ok(c.to_value()),
+            Expr::MakeList(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.eval(item)?);
+                }
+                Ok(Value::list(out))
+            }
+            Expr::Var(name) => self.lookup(name),
+            Expr::EmptySlot => Ok(Value::Nothing),
+            Expr::Binary(op, a, b) => {
+                let a = self.eval(a)?;
+                let b = self.eval(b)?;
+                Ok(eval_binop(*op, &a, &b))
+            }
+            Expr::Unary(op, a) => {
+                let a = self.eval(a)?;
+                Ok(eval_unop(*op, &a))
+            }
+            Expr::Item(index, list) => {
+                let i = self.eval(index)?.to_number() as usize;
+                let list = self.eval_list(list)?;
+                list.item(i)
+                    .ok_or_else(|| {
+                        EvalError::IndexOutOfRange {
+                            index: i,
+                            len: list.len(),
+                        }
+                        .into()
+                    })
+            }
+            Expr::LengthOf(list) => Ok(Value::Number(self.eval_list(list)?.len() as f64)),
+            Expr::Contains(list, value) => {
+                let list = self.eval_list(list)?;
+                let value = self.eval(value)?;
+                Ok(Value::Bool(list.contains(&value)))
+            }
+            Expr::Join(parts) => {
+                let mut out = String::new();
+                for part in parts {
+                    out.push_str(&self.eval(part)?.to_display_string());
+                }
+                Ok(Value::Text(out))
+            }
+            Expr::Split(text, delim) => {
+                let text = self.eval(text)?.to_display_string();
+                let delim = self.eval(delim)?.to_display_string();
+                let items: Vec<Value> = if delim.is_empty() {
+                    text.chars().map(|c| Value::Text(c.to_string())).collect()
+                } else {
+                    text.split(&delim)
+                        .filter(|s| !s.is_empty())
+                        .map(|s| Value::Text(s.to_owned()))
+                        .collect()
+                };
+                Ok(Value::list(items))
+            }
+            Expr::LetterOf(index, text) => {
+                let i = self.eval(index)?.to_number() as usize;
+                let text = self.eval(text)?.to_display_string();
+                Ok(Value::Text(
+                    text.chars()
+                        .nth(i.saturating_sub(1))
+                        .map(|c| c.to_string())
+                        .unwrap_or_default(),
+                ))
+            }
+            Expr::TextLength(text) => {
+                let text = self.eval(text)?.to_display_string();
+                Ok(Value::Number(text.chars().count() as f64))
+            }
+            Expr::PickRandom(a, b) => {
+                let a = self.eval(a)?.to_number();
+                let b = self.eval(b)?.to_number();
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let v = if lo.fract() == 0.0 && hi.fract() == 0.0 {
+                    self.world.rng.random_range(lo as i64..=hi as i64) as f64
+                } else {
+                    self.world.rng.random_range(lo..=hi)
+                };
+                Ok(Value::Number(v))
+            }
+            Expr::NumbersFromTo(a, b) => {
+                let a = self.eval(a)?.to_number();
+                let b = self.eval(b)?.to_number();
+                Ok(numbers_from_to(a, b))
+            }
+            Expr::Attribute(attr) => Ok(self.eval_attribute(*attr)),
+            Expr::Ring(ring_expr) => Ok(Value::Ring(Arc::new(self.ringify(ring_expr)))),
+            Expr::CallRing(ring, args) => {
+                let ring = self.eval_ring(ring)?;
+                let mut values = Vec::with_capacity(args.len());
+                for arg in args {
+                    values.push(self.eval(arg)?);
+                }
+                self.apply_ring(&ring, &values)
+            }
+            Expr::CallCustom(name, args) => {
+                let mut values = Vec::with_capacity(args.len());
+                for arg in args {
+                    values.push(self.eval(arg)?);
+                }
+                self.call_custom_reporter(name, values)
+            }
+            Expr::Map { ring, list } => {
+                let f = self.eval_ring(ring)?;
+                let items = self.eval_list(list)?.to_vec();
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.apply_ring(&f, &[item])?);
+                }
+                Ok(Value::list(out))
+            }
+            Expr::Keep { pred, list } => {
+                let f = self.eval_ring(pred)?;
+                let items = self.eval_list(list)?.to_vec();
+                let mut out = Vec::new();
+                for item in items {
+                    if self.apply_ring(&f, std::slice::from_ref(&item))?.to_bool() {
+                        out.push(item);
+                    }
+                }
+                Ok(Value::list(out))
+            }
+            Expr::Combine { list, ring } => {
+                let f = self.eval_ring(ring)?;
+                let items = self.eval_list(list)?.to_vec();
+                match items.split_first() {
+                    None => Ok(Value::Number(0.0)),
+                    Some((first, rest)) => {
+                        let mut acc = first.clone();
+                        for item in rest {
+                            acc = self.apply_ring(&f, &[acc, item.clone()])?;
+                        }
+                        Ok(acc)
+                    }
+                }
+            }
+            Expr::ParallelMap {
+                ring,
+                list,
+                workers,
+            } => {
+                let ring = self.eval_ring(ring)?;
+                let items = self.eval_list(list)?.to_vec();
+                let workers = self.worker_count(workers.as_deref())?;
+                // Pure rings go to the parallel backend — the paper's Web
+                // Worker path. Impure rings degrade to in-thread
+                // application, as browser Snap! degrades when the ring
+                // can't be shipped to a worker.
+                if PureFn::compile(ring.clone()).is_ok() {
+                    let out = self
+                        .world
+                        .backend
+                        .parallel_map(ring, items, workers)
+                        .map_err(VmError::Eval)?;
+                    Ok(Value::list(out))
+                } else {
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        out.push(self.apply_ring(&ring, &[item])?);
+                    }
+                    Ok(Value::list(out))
+                }
+            }
+            Expr::MapReduce {
+                mapper,
+                reducer,
+                list,
+            } => {
+                let mapper = self.eval_ring(mapper)?;
+                let reducer = self.eval_ring(reducer)?;
+                let items = self.eval_list(list)?.to_vec();
+                let workers = self.world.default_workers;
+                if PureFn::compile(mapper.clone()).is_ok()
+                    && PureFn::compile(reducer.clone()).is_ok()
+                {
+                    let out = self
+                        .world
+                        .backend
+                        .map_reduce(mapper, reducer, items, workers)
+                        .map_err(VmError::Eval)?;
+                    Ok(Value::list(out))
+                } else {
+                    // In-thread MapReduce with full-evaluator rings.
+                    let mut pairs = Vec::with_capacity(items.len());
+                    for item in items {
+                        pairs.push(self.apply_ring(&mapper, &[item])?);
+                    }
+                    let mut result: Result<Vec<Value>, VmError> = Ok(Vec::new());
+                    let groups = crate::backend::reduce_groups(pairs, |values| {
+                        match self.apply_ring(&reducer, &[Value::list(values)]) {
+                            Ok(v) => Ok(v),
+                            Err(e) => {
+                                result = Err(e);
+                                Err(EvalError::Other("reduce failed".into()))
+                            }
+                        }
+                    });
+                    match groups {
+                        Ok(g) => Ok(Value::list(g)),
+                        Err(e) => match result {
+                            Err(vm) => Err(vm),
+                            Ok(_) => Err(VmError::Eval(e)),
+                        },
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluate an expression that must report a list.
+    pub fn eval_list(&mut self, expr: &Expr) -> Result<List, VmError> {
+        let v = self.eval(expr)?;
+        match v {
+            Value::List(l) => Ok(l),
+            other => Err(EvalError::TypeMismatch {
+                expected: "list",
+                got: other.to_display_string(),
+            }
+            .into()),
+        }
+    }
+
+    /// Evaluate an expression that must report a ring.
+    pub fn eval_ring(&mut self, expr: &Expr) -> Result<Arc<Ring>, VmError> {
+        let v = self.eval(expr)?;
+        match v {
+            Value::Ring(r) => Ok(r),
+            other => Err(EvalError::TypeMismatch {
+                expected: "ring",
+                got: other.to_display_string(),
+            }
+            .into()),
+        }
+    }
+
+    /// The worker count for a `parallelMap`: the explicit input if given,
+    /// else the world default (`hardwareConcurrency || 4` in the paper).
+    fn worker_count(&mut self, workers: Option<&Expr>) -> Result<usize, VmError> {
+        match workers {
+            Some(expr) => {
+                let n = self.eval(expr)?.to_number();
+                Ok(if n >= 1.0 {
+                    n as usize
+                } else {
+                    self.world.default_workers
+                })
+            }
+            None => Ok(self.world.default_workers),
+        }
+    }
+
+    fn eval_attribute(&self, attr: Attr) -> Value {
+        let sprite = &self.world.sprites[self.sprite];
+        match attr {
+            Attr::Timer => {
+                Value::Number(self.timestep.saturating_sub(self.world.timer_reset_at) as f64)
+            }
+            Attr::XPosition => Value::Number(sprite.x),
+            Attr::YPosition => Value::Number(sprite.y),
+            Attr::Direction => Value::Number(sprite.heading),
+            Attr::CostumeNumber => Value::Number(sprite.costume as f64),
+            Attr::SpriteName => Value::Text(sprite.name.clone()),
+            Attr::IsClone => Value::Bool(sprite.is_clone),
+        }
+    }
+
+    /// Turn a ring literal into a runtime [`Ring`], capturing the
+    /// environment visible at this point: globals, then sprite variables,
+    /// then the process scopes (innermost last, so they shadow on
+    /// lookup). This is the VM's analogue of "ringification".
+    pub fn ringify(&self, ring_expr: &snap_ast::RingExpr) -> Ring {
+        let mut captured: Vec<(String, Value)> = Vec::new();
+        for (name, value) in &self.world.globals {
+            captured.push((name.clone(), value.clone()));
+        }
+        for (name, value) in &self.world.sprites[self.sprite].vars {
+            captured.push((name.clone(), value.clone()));
+        }
+        captured.extend(self.scopes.flatten());
+        let body = match &ring_expr.body {
+            RingExprBody::Reporter(e) => RingBody::Reporter((**e).clone()),
+            RingExprBody::Predicate(e) => RingBody::Predicate((**e).clone()),
+            RingExprBody::Command(s) => RingBody::Command(s.clone()),
+        };
+        Ring {
+            params: ring_expr.params.clone(),
+            body,
+            captured,
+        }
+    }
+
+    /// Apply a reporter ring with the *full* evaluator (the ring may use
+    /// impure blocks like `pick random`). Command rings are rejected —
+    /// they run via `run`/`launch` statements.
+    pub fn apply_ring(&mut self, ring: &Arc<Ring>, args: &[Value]) -> Result<Value, VmError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(VmError::TooMuchRecursion);
+        }
+        let body_expr = match &ring.body {
+            RingBody::Reporter(e) | RingBody::Predicate(e) => e,
+            RingBody::Command(_) => return Err(EvalError::NotAReporter.into()),
+        };
+
+        let mut frame: Vec<(String, Value)> = ring.captured.clone();
+        let expr_owned;
+        let expr: &Expr = if ring.params.is_empty() {
+            // Implicit parameters: substitute empty slots with synthetic
+            // argument variables. A single argument fills every slot.
+            expr_owned = body_expr.map_own_empty_slots(&mut |i| {
+                let idx = if args.len() <= 1 { 0 } else { i };
+                Expr::Var(format!("%arg{idx}"))
+            });
+            if args.len() <= 1 {
+                frame.push((
+                    "%arg0".to_owned(),
+                    args.first().cloned().unwrap_or(Value::Nothing),
+                ));
+            } else {
+                for (i, arg) in args.iter().enumerate() {
+                    frame.push((format!("%arg{i}"), arg.clone()));
+                }
+            }
+            &expr_owned
+        } else {
+            if ring.params.len() != args.len() {
+                return Err(EvalError::ArityMismatch {
+                    expected: ring.params.len(),
+                    got: args.len(),
+                }
+                .into());
+            }
+            for (name, value) in ring.params.iter().zip(args) {
+                frame.push((name.clone(), value.clone()));
+            }
+            body_expr
+        };
+
+        self.scopes.push(frame);
+        self.depth += 1;
+        let result = self.eval(expr);
+        self.depth -= 1;
+        self.scopes.pop();
+        result
+    }
+
+    /// Call a custom reporter/predicate block synchronously.
+    pub fn call_custom_reporter(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, VmError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(VmError::TooMuchRecursion);
+        }
+        let block = self
+            .world
+            .find_custom_block(self.sprite, name)
+            .ok_or_else(|| EvalError::UnknownCustomBlock(name.to_owned()))?;
+        if block.kind == BlockKind::Command {
+            return Err(EvalError::NotAReporter.into());
+        }
+        if block.params.len() != args.len() {
+            return Err(EvalError::ArityMismatch {
+                expected: block.params.len(),
+                got: args.len(),
+            }
+            .into());
+        }
+        let frame: Vec<(String, Value)> =
+            block.params.iter().cloned().zip(args).collect();
+        self.scopes.push(frame);
+        self.depth += 1;
+        let result = self.run_sync(&block.body);
+        self.depth -= 1;
+        self.scopes.pop();
+        match result? {
+            Some(value) => Ok(value),
+            None => Err(VmError::NoReport(name.to_owned())),
+        }
+    }
+
+    /// Synchronously execute a reporter body: the statement subset that
+    /// makes sense without the scheduler. `wait` is treated as zero
+    /// (reporters evaluate within one time slice); blocks that *require*
+    /// the scheduler (broadcast, clone) are errors.
+    ///
+    /// Returns `Some(value)` when a `report` ran.
+    pub fn run_sync(&mut self, stmts: &[Stmt]) -> Result<Option<Value>, VmError> {
+        for stmt in stmts {
+            if self.ops_left == 0 {
+                return Err(VmError::Eval(EvalError::Other(
+                    "reporter ran too long".into(),
+                )));
+            }
+            self.ops_left -= 1;
+            match stmt {
+                Stmt::Report(e) => return Ok(Some(self.eval(e)?)),
+                Stmt::Say(e) | Stmt::Think(e) => {
+                    let text = self.eval(e)?.to_display_string();
+                    self.world.say(self.timestep, self.sprite, text);
+                }
+                Stmt::SayFor(e, _) => {
+                    let text = self.eval(e)?.to_display_string();
+                    self.world.say(self.timestep, self.sprite, text);
+                }
+                Stmt::SetVar(name, e) => {
+                    let v = self.eval(e)?;
+                    self.assign(name, v);
+                }
+                Stmt::ChangeVar(name, e) => {
+                    let delta = self.eval(e)?.to_number();
+                    let current = self.lookup(name).map(|v| v.to_number()).unwrap_or(0.0);
+                    self.assign(name, Value::Number(current + delta));
+                }
+                Stmt::DeclareLocals(names) => {
+                    for name in names {
+                        self.scopes.declare(name, Value::Nothing);
+                    }
+                }
+                Stmt::AddToList { item, list } => {
+                    let v = self.eval(item)?;
+                    self.eval_list(list)?.add(v);
+                }
+                Stmt::DeleteOfList { index, list } => {
+                    let i = self.eval(index)?.to_number() as usize;
+                    self.eval_list(list)?.delete(i);
+                }
+                Stmt::InsertAtList { item, index, list } => {
+                    let v = self.eval(item)?;
+                    let i = self.eval(index)?.to_number() as usize;
+                    self.eval_list(list)?.insert(i, v);
+                }
+                Stmt::ReplaceItemOfList { index, list, item } => {
+                    let i = self.eval(index)?.to_number() as usize;
+                    let v = self.eval(item)?;
+                    self.eval_list(list)?.set_item(i, v);
+                }
+                Stmt::If(cond, then) => {
+                    if self.eval(cond)?.to_bool() {
+                        if let Some(v) = self.run_sync(then)? {
+                            return Ok(Some(v));
+                        }
+                    }
+                }
+                Stmt::IfElse(cond, then, otherwise) => {
+                    let branch = if self.eval(cond)?.to_bool() {
+                        then
+                    } else {
+                        otherwise
+                    };
+                    if let Some(v) = self.run_sync(branch)? {
+                        return Ok(Some(v));
+                    }
+                }
+                Stmt::Repeat(times, body) => {
+                    let n = self.eval(times)?.to_number().max(0.0) as u64;
+                    for _ in 0..n {
+                        if let Some(v) = self.run_sync(body)? {
+                            return Ok(Some(v));
+                        }
+                    }
+                }
+                Stmt::RepeatUntil(cond, body) => loop {
+                    if self.eval(cond)?.to_bool() {
+                        break;
+                    }
+                    if self.ops_left == 0 {
+                        return Err(VmError::Eval(EvalError::Other(
+                            "reporter ran too long".into(),
+                        )));
+                    }
+                    self.ops_left -= 1;
+                    if let Some(v) = self.run_sync(body)? {
+                        return Ok(Some(v));
+                    }
+                },
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
+                    let from = self.eval(from)?.to_number();
+                    let to = self.eval(to)?.to_number();
+                    let step = if from <= to { 1.0 } else { -1.0 };
+                    let mut x = from;
+                    self.scopes.push(vec![(var.clone(), Value::Number(x))]);
+                    loop {
+                        let more = if step > 0.0 { x <= to } else { x >= to };
+                        if !more {
+                            break;
+                        }
+                        self.scopes.set(var, Value::Number(x));
+                        match self.run_sync(body) {
+                            Ok(Some(v)) => {
+                                self.scopes.pop();
+                                return Ok(Some(v));
+                            }
+                            Ok(None) => {}
+                            Err(e) => {
+                                self.scopes.pop();
+                                return Err(e);
+                            }
+                        }
+                        x += step;
+                    }
+                    self.scopes.pop();
+                }
+                Stmt::ForEach { var, list, body } => {
+                    let items = self.eval_list(list)?.to_vec();
+                    self.scopes.push(vec![(var.clone(), Value::Nothing)]);
+                    for item in items {
+                        self.scopes.set(var, item);
+                        match self.run_sync(body) {
+                            Ok(Some(v)) => {
+                                self.scopes.pop();
+                                return Ok(Some(v));
+                            }
+                            Ok(None) => {}
+                            Err(e) => {
+                                self.scopes.pop();
+                                return Err(e);
+                            }
+                        }
+                    }
+                    self.scopes.pop();
+                }
+                Stmt::Warp(body) => {
+                    if let Some(v) = self.run_sync(body)? {
+                        return Ok(Some(v));
+                    }
+                }
+                Stmt::Wait(_) | Stmt::WaitUntil(_) => {
+                    // Reporters run within one time slice: waits are
+                    // no-ops here (documented deviation).
+                }
+                Stmt::Stop(_) => return Ok(None),
+                Stmt::Comment(_) => {}
+                other => {
+                    return Err(VmError::Eval(EvalError::NotPure(stmt_name(other))));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Human-readable block name for error messages.
+pub fn stmt_name(stmt: &Stmt) -> &'static str {
+    match stmt {
+        Stmt::Broadcast(_) => "broadcast",
+        Stmt::BroadcastAndWait(_) => "broadcast and wait",
+        Stmt::CreateCloneOf(_) => "create a clone",
+        Stmt::DeleteThisClone => "delete this clone",
+        Stmt::ParallelForEach { .. } => "parallelForEach",
+        Stmt::RunRing(_, _) => "run",
+        Stmt::LaunchRing(_, _) => "launch",
+        Stmt::CallCustom(_, _) => "custom block call",
+        Stmt::Move(_) => "move",
+        Stmt::TurnRight(_) => "turn right",
+        Stmt::TurnLeft(_) => "turn left",
+        Stmt::GoToXY(_, _) => "go to",
+        Stmt::PointInDirection(_) => "point in direction",
+        Stmt::Show => "show",
+        Stmt::Hide => "hide",
+        Stmt::SwitchCostume(_) => "switch costume",
+        Stmt::NextCostume => "next costume",
+        Stmt::ResetTimer => "reset timer",
+        _ => "statement",
+    }
+}
+
+/// Build the per-child item assignments for a parallel `parallelForEach`:
+/// `k` clones round-robin over the items ("if fewer workers are created
+/// than there are list elements, the workers systematically process the
+/// remaining elements", paper §4.2).
+pub fn round_robin_assign(items: Vec<Value>, k: usize) -> Vec<VecDeque<Value>> {
+    let k = k.max(1);
+    let mut out: Vec<VecDeque<Value>> = (0..k).map(|_| VecDeque::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        out[i % k].push_back(item);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_ast::builder::*;
+    use snap_ast::{Constant, CustomBlock, Project, SpriteDef};
+
+    fn ctx_fixture() -> (World, ScopeStack) {
+        let project = Project::new("t")
+            .with_global("g", Constant::Number(7.0))
+            .with_global_block(CustomBlock::reporter_expr(
+                "double",
+                vec!["n".into()],
+                add(var("n"), var("n")),
+            ))
+            .with_sprite(SpriteDef::new("Cat").with_variable("lives", Constant::Number(9.0)));
+        (World::new(Arc::new(project)), ScopeStack::new())
+    }
+
+    fn eval_on_cat(world: &mut World, scopes: &mut ScopeStack, e: &Expr) -> Value {
+        EvalCtx::new(world, 1, scopes, 0).eval(e).unwrap()
+    }
+
+    #[test]
+    fn variable_lookup_order() {
+        let (mut world, mut scopes) = ctx_fixture();
+        assert_eq!(
+            eval_on_cat(&mut world, &mut scopes, &var("g")),
+            Value::Number(7.0)
+        );
+        assert_eq!(
+            eval_on_cat(&mut world, &mut scopes, &var("lives")),
+            Value::Number(9.0)
+        );
+        scopes.declare("lives", Value::Number(1.0));
+        assert_eq!(
+            eval_on_cat(&mut world, &mut scopes, &var("lives")),
+            Value::Number(1.0)
+        );
+    }
+
+    #[test]
+    fn map_block_matches_paper_fig4() {
+        let (mut world, mut scopes) = ctx_fixture();
+        let e = map_over(
+            ring_reporter(mul(empty_slot(), num(10.0))),
+            number_list([3.0, 7.0, 8.0]),
+        );
+        assert_eq!(
+            eval_on_cat(&mut world, &mut scopes, &e),
+            Value::number_list([30.0, 70.0, 80.0])
+        );
+    }
+
+    #[test]
+    fn parallel_map_with_sequential_backend_matches_map() {
+        let (mut world, mut scopes) = ctx_fixture();
+        let e = parallel_map_with_workers(
+            ring_reporter(mul(empty_slot(), num(10.0))),
+            number_list([3.0, 7.0, 8.0]),
+            num(2.0),
+        );
+        assert_eq!(
+            eval_on_cat(&mut world, &mut scopes, &e),
+            Value::number_list([30.0, 70.0, 80.0])
+        );
+    }
+
+    #[test]
+    fn rings_capture_globals_and_locals() {
+        let (mut world, mut scopes) = ctx_fixture();
+        scopes.declare("offset", Value::Number(100.0));
+        // call (ring: () + offset + g) with 1
+        let e = call_ring(
+            ring_reporter(add(empty_slot(), add(var("offset"), var("g")))),
+            vec![num(1.0)],
+        );
+        assert_eq!(
+            eval_on_cat(&mut world, &mut scopes, &e),
+            Value::Number(108.0)
+        );
+    }
+
+    #[test]
+    fn custom_reporter_is_callable() {
+        let (mut world, mut scopes) = ctx_fixture();
+        let e = call_custom("double", vec![num(21.0)]);
+        assert_eq!(
+            eval_on_cat(&mut world, &mut scopes, &e),
+            Value::Number(42.0)
+        );
+    }
+
+    #[test]
+    fn recursive_custom_reporter_factorial() {
+        let project = Project::new("t").with_global_block(CustomBlock::reporter(
+            "fact",
+            vec!["n".into()],
+            vec![if_else(
+                le(var("n"), num(1.0)),
+                vec![report(num(1.0))],
+                vec![report(mul(
+                    var("n"),
+                    call_custom("fact", vec![sub(var("n"), num(1.0))]),
+                ))],
+            )],
+        ));
+        let mut world = World::new(Arc::new(project));
+        let mut scopes = ScopeStack::new();
+        let v = EvalCtx::new(&mut world, 0, &mut scopes, 0)
+            .eval(&call_custom("fact", vec![num(10.0)]))
+            .unwrap();
+        assert_eq!(v, Value::Number(3628800.0));
+    }
+
+    #[test]
+    fn infinite_recursion_is_caught() {
+        let project = Project::new("t").with_global_block(CustomBlock::reporter_expr(
+            "loop",
+            vec![],
+            call_custom("loop", vec![]),
+        ));
+        let mut world = World::new(Arc::new(project));
+        let mut scopes = ScopeStack::new();
+        let err = EvalCtx::new(&mut world, 0, &mut scopes, 0)
+            .eval(&call_custom("loop", vec![]))
+            .unwrap_err();
+        assert_eq!(err, VmError::TooMuchRecursion);
+    }
+
+    #[test]
+    fn pick_random_is_deterministic_and_in_range() {
+        let (mut world, mut scopes) = ctx_fixture();
+        world.seed_rng(42);
+        for _ in 0..100 {
+            let v = eval_on_cat(&mut world, &mut scopes, &pick_random(num(1.0), num(6.0)))
+                .to_number();
+            assert!((1.0..=6.0).contains(&v));
+            assert_eq!(v.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn timer_attribute_reflects_reset() {
+        let (mut world, mut scopes) = ctx_fixture();
+        world.timer_reset_at = 10;
+        let v = EvalCtx::new(&mut world, 1, &mut scopes, 25)
+            .eval(&timer())
+            .unwrap();
+        assert_eq!(v, Value::Number(15.0));
+    }
+
+    #[test]
+    fn map_with_impure_ring_uses_full_evaluator() {
+        let (mut world, mut scopes) = ctx_fixture();
+        world.seed_rng(1);
+        // map (pick random 1 to ()) over [1,1,1] — impure ring, still works.
+        let e = map_over(
+            ring_reporter(pick_random(num(1.0), empty_slot())),
+            number_list([1.0, 1.0, 1.0]),
+        );
+        let v = eval_on_cat(&mut world, &mut scopes, &e);
+        assert_eq!(v.as_list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn round_robin_assignment_covers_all_items() {
+        let items: Vec<Value> = (0..7).map(|i| Value::Number(i as f64)).collect();
+        let chunks = round_robin_assign(items, 3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 3); // 0, 3, 6
+        assert_eq!(chunks[1].len(), 2);
+        assert_eq!(chunks[2].len(), 2);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn map_reduce_via_eval_word_count() {
+        let (mut world, mut scopes) = ctx_fixture();
+        let e = map_reduce(
+            ring_reporter_with(vec!["w"], make_list(vec![var("w"), num(1.0)])),
+            ring_reporter_with(
+                vec!["vals"],
+                combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+            ),
+            split(text("a b a"), text(" ")),
+        );
+        let v = eval_on_cat(&mut world, &mut scopes, &e);
+        assert_eq!(
+            v,
+            Value::list(vec![
+                Value::list(vec!["a".into(), 2.into()]),
+                Value::list(vec!["b".into(), 1.into()]),
+            ])
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Headless stage rendering.
+//!
+//! The paper demonstrates everything visually — the stage screenshots of
+//! Figs. 2 and 7–10 are its "output device". This module renders the
+//! world's stage as text: sprites plotted on a character grid by
+//! position (first letter of their name; `*` marks overlaps), with say
+//! bubbles and the timer in a header, so examples and tests can show
+//! and assert "what the stage looks like" at a timestep.
+
+use std::fmt::Write as _;
+
+use crate::world::World;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct StageView {
+    /// Grid columns.
+    pub columns: usize,
+    /// Grid rows.
+    pub rows: usize,
+    /// Stage x range: `-half_width ..= half_width` maps onto the grid.
+    pub half_width: f64,
+    /// Stage y range.
+    pub half_height: f64,
+}
+
+impl Default for StageView {
+    fn default() -> Self {
+        // Snap!'s stage is 480×360; a character cell is ~8×12 of it.
+        StageView {
+            columns: 60,
+            rows: 30,
+            half_width: 240.0,
+            half_height: 180.0,
+        }
+    }
+}
+
+impl StageView {
+    /// Map stage coordinates to a grid cell, if on stage.
+    fn cell(&self, x: f64, y: f64) -> Option<(usize, usize)> {
+        if x < -self.half_width
+            || x > self.half_width
+            || y < -self.half_height
+            || y > self.half_height
+        {
+            return None;
+        }
+        let col = ((x + self.half_width) / (2.0 * self.half_width)
+            * (self.columns.saturating_sub(1)) as f64)
+            .round() as usize;
+        let row = ((self.half_height - y) / (2.0 * self.half_height)
+            * (self.rows.saturating_sub(1)) as f64)
+            .round() as usize;
+        Some((col.min(self.columns - 1), row.min(self.rows - 1)))
+    }
+}
+
+/// Render the stage: a header with the timer and the say bubbles, then
+/// the sprite grid.
+pub fn render_stage(world: &World, timestep: u64, view: &StageView) -> String {
+    let mut grid = vec![vec![' '; view.columns]; view.rows];
+    for sprite in &world.sprites {
+        if sprite.is_stage || !sprite.alive || !sprite.visible {
+            continue;
+        }
+        if let Some((col, row)) = view.cell(sprite.x, sprite.y) {
+            let mark = sprite.name.chars().next().unwrap_or('?');
+            grid[row][col] = if grid[row][col] == ' ' { mark } else { '*' };
+        }
+    }
+
+    let mut out = String::new();
+    let timer = timestep.saturating_sub(world.timer_reset_at);
+    let _ = writeln!(out, "timer: {timer}");
+    for name in &world.watched {
+        let value = world
+            .watched_value(name)
+            .map(|v| v.to_display_string())
+            .unwrap_or_else(|| "?".to_owned());
+        let _ = writeln!(out, "{name} = {value}");
+    }
+    for sprite in &world.sprites {
+        if let Some(text) = &sprite.saying {
+            if sprite.alive {
+                let _ = writeln!(out, "{}: \"{}\"", sprite.name, text);
+            }
+        }
+    }
+    let _ = writeln!(out, "+{}+", "-".repeat(view.columns));
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "|{line}|");
+    }
+    let _ = writeln!(out, "+{}+", "-".repeat(view.columns));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_ast::{Project, SpriteDef};
+    use std::sync::Arc;
+
+    fn world_with(positions: &[(&str, f64, f64)]) -> World {
+        let mut project = Project::new("t");
+        for (name, x, y) in positions {
+            project = project.with_sprite(SpriteDef::new(*name).at(*x, *y));
+        }
+        World::new(Arc::new(project))
+    }
+
+    #[test]
+    fn sprites_appear_at_mapped_cells() {
+        let world = world_with(&[("Pitcher", 0.0, 0.0)]);
+        let rendered = render_stage(&world, 0, &StageView::default());
+        assert!(rendered.contains('P'), "{rendered}");
+        // Centered: the P is in the middle row.
+        let rows: Vec<&str> = rendered.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(rows.len(), 30);
+        assert!(rows[14].contains('P') || rows[15].contains('P'));
+    }
+
+    #[test]
+    fn overlapping_sprites_render_a_star() {
+        let world = world_with(&[("A", 10.0, 10.0), ("B", 10.0, 10.0)]);
+        let rendered = render_stage(&world, 0, &StageView::default());
+        assert!(rendered.contains('*'));
+        assert!(!rendered.contains('A'));
+    }
+
+    #[test]
+    fn hidden_and_offstage_sprites_are_not_drawn() {
+        let mut world = world_with(&[("Ghost", 0.0, 0.0), ("Far", 9999.0, 0.0)]);
+        world.sprites[1].visible = false;
+        let rendered = render_stage(&world, 0, &StageView::default());
+        assert!(!rendered.contains('G'));
+        assert!(!rendered.contains('F'));
+    }
+
+    #[test]
+    fn say_bubbles_and_timer_appear_in_header() {
+        let mut world = world_with(&[("Cat", 0.0, 0.0)]);
+        world.timer_reset_at = 2;
+        world.say(5, 1, "hello!".to_owned());
+        let rendered = render_stage(&world, 5, &StageView::default());
+        assert!(rendered.starts_with("timer: 3\n"));
+        assert!(rendered.contains("Cat: \"hello!\""));
+    }
+
+    #[test]
+    fn watchers_show_current_values() {
+        let mut world = world_with(&[("Cat", 0.0, 0.0)]);
+        world.globals.insert("score".into(), snap_ast::Value::Number(7.0));
+        world.watch("score");
+        world.watch("missing");
+        world.watch("score"); // duplicates collapse
+        let rendered = render_stage(&world, 0, &StageView::default());
+        assert!(rendered.contains("score = 7"));
+        assert!(rendered.contains("missing = ?"));
+        assert_eq!(rendered.matches("score = ").count(), 1);
+    }
+
+    #[test]
+    fn corner_positions_stay_inside_the_border() {
+        let world = world_with(&[("A", -240.0, 180.0), ("B", 240.0, -180.0)]);
+        let rendered = render_stage(&world, 0, &StageView::default());
+        let rows: Vec<&str> = rendered.lines().filter(|l| l.starts_with('|')).collect();
+        assert!(rows.first().unwrap().contains('A'));
+        assert!(rows.last().unwrap().contains('B'));
+    }
+}

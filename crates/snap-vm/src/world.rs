@@ -1,0 +1,387 @@
+//! The world: sprite instances, global state, and the stage.
+//!
+//! A [`World`] is the mutable half of a running project — everything a
+//! block can observe or change. The scheduler (in [`crate::vm`]) owns the
+//! processes; the world owns the data.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snap_ast::{Project, Ring, SpriteDef, Value};
+
+use crate::backend::{ParallelBackend, SequentialBackend};
+use crate::error::VmError;
+
+/// Identifies a sprite instance. Id 0 is always the stage.
+pub type SpriteId = usize;
+
+/// A live sprite (or the stage, which is instance 0).
+#[derive(Debug, Clone)]
+pub struct SpriteInstance {
+    /// Instance id.
+    pub id: SpriteId,
+    /// The static definition this instance was built from (`None` for the
+    /// stage).
+    pub def: Option<Arc<SpriteDef>>,
+    /// Display name. Clones share the original's name.
+    pub name: String,
+    /// `true` for the stage pseudo-sprite.
+    pub is_stage: bool,
+    /// `true` when created by `create a clone of`.
+    pub is_clone: bool,
+    /// The instance this was cloned from, if any.
+    pub cloned_from: Option<SpriteId>,
+    /// `true` until deleted (`delete this clone` / project reset).
+    pub alive: bool,
+    /// x position.
+    pub x: f64,
+    /// y position.
+    pub y: f64,
+    /// Heading in degrees (90 = right).
+    pub heading: f64,
+    /// Visibility.
+    pub visible: bool,
+    /// 1-based current costume number (0 = no costume).
+    pub costume: usize,
+    /// Costume names.
+    pub costumes: Vec<String>,
+    /// Current say-bubble contents, if any.
+    pub saying: Option<String>,
+    /// Sprite-local variables.
+    pub vars: HashMap<String, Value>,
+}
+
+impl SpriteInstance {
+    fn stage() -> SpriteInstance {
+        SpriteInstance {
+            id: 0,
+            def: None,
+            name: "Stage".to_owned(),
+            is_stage: true,
+            is_clone: false,
+            cloned_from: None,
+            alive: true,
+            x: 0.0,
+            y: 0.0,
+            heading: 90.0,
+            visible: true,
+            costume: 0,
+            costumes: Vec::new(),
+            saying: None,
+            vars: HashMap::new(),
+        }
+    }
+
+    fn from_def(id: SpriteId, def: Arc<SpriteDef>) -> SpriteInstance {
+        let vars = def
+            .variables
+            .iter()
+            .map(|(name, value)| (name.clone(), value.to_value()))
+            .collect();
+        SpriteInstance {
+            id,
+            name: def.name.clone(),
+            is_stage: false,
+            is_clone: false,
+            cloned_from: None,
+            alive: true,
+            x: def.x,
+            y: def.y,
+            heading: def.heading,
+            visible: def.visible,
+            costume: if def.costumes.is_empty() { 0 } else { 1 },
+            costumes: def.costumes.clone(),
+            saying: None,
+            vars,
+            def: Some(def),
+        }
+    }
+
+    /// Move `steps` in the direction of the current heading (Snap!
+    /// convention: heading 90 = +x, 0 = +y).
+    pub fn move_steps(&mut self, steps: f64) {
+        let radians = (90.0 - self.heading).to_radians();
+        self.x += steps * radians.cos();
+        self.y += steps * radians.sin();
+    }
+}
+
+/// One `say` event, as recorded in the world's output log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SayEvent {
+    /// Timestep at which the bubble appeared.
+    pub timestep: u64,
+    /// Name of the sprite that spoke.
+    pub sprite: String,
+    /// The text.
+    pub text: String,
+}
+
+/// The mutable state of a running project.
+pub struct World {
+    /// The project being run (shared, immutable).
+    pub project: Arc<Project>,
+    /// Live sprite instances; index = [`SpriteId`]. Instance 0 is the
+    /// stage. Deleted clones stay in the vector with `alive = false` so
+    /// ids remain stable.
+    pub sprites: Vec<SpriteInstance>,
+    /// Global variables.
+    pub globals: HashMap<String, Value>,
+    /// Everything any sprite has said, in order — the headless analogue
+    /// of watching the stage.
+    pub say_log: Vec<SayEvent>,
+    /// Errors raised by processes (each also killed its process).
+    pub errors: Vec<(String, VmError)>,
+    /// Timestep at which the timer was last reset.
+    pub timer_reset_at: u64,
+    /// Deterministic RNG for `pick random`.
+    pub rng: StdRng,
+    /// Implementation of `parallelMap`/`mapReduce`. Defaults to the
+    /// in-thread sequential backend; `snap-parallel` installs the real
+    /// worker-pool one.
+    pub backend: Arc<dyn ParallelBackend>,
+    /// Worker count used when a `parallelMap` has no explicit input —
+    /// the paper's `navigator.hardwareConcurrency || 4`.
+    pub default_workers: usize,
+    /// Variable names with a stage watcher (shown by the renderer, like
+    /// the checked-checkbox watchers in the paper's screenshots).
+    pub watched: Vec<String>,
+}
+
+impl World {
+    /// Instantiate a project: the stage plus one instance per sprite.
+    pub fn new(project: Arc<Project>) -> World {
+        let mut sprites = vec![SpriteInstance::stage()];
+        for def in &project.sprites {
+            let id = sprites.len();
+            sprites.push(SpriteInstance::from_def(id, Arc::new(def.clone())));
+        }
+        let globals = project
+            .globals
+            .iter()
+            .map(|(name, value)| (name.clone(), value.to_value()))
+            .collect();
+        World {
+            project,
+            sprites,
+            globals,
+            say_log: Vec::new(),
+            errors: Vec::new(),
+            timer_reset_at: 0,
+            rng: StdRng::seed_from_u64(0x5EED),
+            backend: Arc::new(SequentialBackend),
+            default_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            watched: Vec::new(),
+        }
+    }
+
+    /// Show a stage watcher for a variable (global, or any sprite's).
+    pub fn watch(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if !self.watched.contains(&name) {
+            self.watched.push(name);
+        }
+    }
+
+    /// The current value a watcher displays.
+    pub fn watched_value(&self, name: &str) -> Option<Value> {
+        if let Some(v) = self.globals.get(name) {
+            return Some(v.clone());
+        }
+        self.sprites
+            .iter()
+            .find_map(|s| s.vars.get(name).cloned())
+    }
+
+    /// Install a parallel backend (done by `snap-parallel`).
+    pub fn set_backend(&mut self, backend: Arc<dyn ParallelBackend>) {
+        self.backend = backend;
+    }
+
+    /// Reseed the deterministic RNG.
+    pub fn seed_rng(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// The first live sprite instance with this name (original instances
+    /// take priority over clones because they were created first).
+    pub fn sprite_by_name(&self, name: &str) -> Option<SpriteId> {
+        self.sprites
+            .iter()
+            .find(|s| s.alive && s.name == name)
+            .map(|s| s.id)
+    }
+
+    /// Create a clone of the given instance. Returns the new instance's
+    /// id. The caller is responsible for starting its `StartAsClone`
+    /// scripts.
+    pub fn clone_sprite(&mut self, source: SpriteId) -> Result<SpriteId, VmError> {
+        if self.sprites[source].is_stage {
+            return Err(VmError::StageCannot("be cloned"));
+        }
+        let id = self.sprites.len();
+        let mut clone = self.sprites[source].clone();
+        clone.id = id;
+        clone.is_clone = true;
+        clone.cloned_from = Some(source);
+        clone.saying = None;
+        // Sprite-local variables are copied by value, but lists keep
+        // reference semantics (same as Snap!, where clones share list
+        // contents unless reassigned).
+        self.sprites.push(clone);
+        Ok(id)
+    }
+
+    /// Mark a clone as deleted. Original sprites cannot be deleted.
+    pub fn delete_clone(&mut self, id: SpriteId) {
+        if self.sprites[id].is_clone {
+            self.sprites[id].alive = false;
+        }
+    }
+
+    /// Record a say event.
+    pub fn say(&mut self, timestep: u64, sprite: SpriteId, text: String) {
+        self.sprites[sprite].saying = Some(text.clone());
+        self.say_log.push(SayEvent {
+            timestep,
+            sprite: self.sprites[sprite].name.clone(),
+            text,
+        });
+    }
+
+    /// All say-log texts, for assertions in tests.
+    pub fn said(&self) -> Vec<&str> {
+        self.say_log.iter().map(|e| e.text.as_str()).collect()
+    }
+
+    /// Look up a global variable.
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        self.globals.get(name)
+    }
+
+    /// Number of live clones (excluding originals).
+    pub fn live_clone_count(&self) -> usize {
+        self.sprites.iter().filter(|s| s.alive && s.is_clone).count()
+    }
+
+    /// Find a custom block definition visible to `sprite`: sprite-local
+    /// blocks shadow global ones.
+    pub fn find_custom_block(
+        &self,
+        sprite: SpriteId,
+        name: &str,
+    ) -> Option<snap_ast::CustomBlock> {
+        if let Some(def) = &self.sprites[sprite].def {
+            if let Some(b) = def.custom_blocks.iter().find(|b| b.name == name) {
+                return Some(b.clone());
+            }
+        }
+        self.project
+            .global_blocks
+            .iter()
+            .find(|b| b.name == name)
+            .cloned()
+    }
+
+    /// Resolve a `create a clone of <target>` input: `"myself"` (or an
+    /// empty string) means the acting sprite.
+    pub fn resolve_clone_target(
+        &self,
+        acting: SpriteId,
+        target: &Value,
+    ) -> Result<SpriteId, VmError> {
+        let name = target.to_display_string();
+        if name.is_empty() || name.eq_ignore_ascii_case("myself") {
+            return Ok(acting);
+        }
+        self.sprite_by_name(&name)
+            .ok_or(VmError::UnknownSprite(name))
+    }
+}
+
+/// The ring + captured environment handed to a parallel backend.
+#[derive(Clone)]
+pub struct RingValue(pub Arc<Ring>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_ast::Constant;
+
+    fn world_with_sprite() -> World {
+        let project = Project::new("t")
+            .with_global("score", Constant::Number(0.0))
+            .with_sprite(SpriteDef::new("Cat").with_variable("lives", Constant::Number(9.0)));
+        World::new(Arc::new(project))
+    }
+
+    #[test]
+    fn stage_is_instance_zero() {
+        let w = world_with_sprite();
+        assert!(w.sprites[0].is_stage);
+        assert_eq!(w.sprites[1].name, "Cat");
+    }
+
+    #[test]
+    fn globals_and_sprite_vars_initialized() {
+        let w = world_with_sprite();
+        assert_eq!(w.global("score"), Some(&Value::Number(0.0)));
+        assert_eq!(w.sprites[1].vars.get("lives"), Some(&Value::Number(9.0)));
+    }
+
+    #[test]
+    fn cloning_copies_state_and_marks_clone() {
+        let mut w = world_with_sprite();
+        w.sprites[1].x = 42.0;
+        let id = w.clone_sprite(1).unwrap();
+        assert_eq!(w.sprites[id].x, 42.0);
+        assert!(w.sprites[id].is_clone);
+        assert_eq!(w.sprites[id].cloned_from, Some(1));
+        assert_eq!(w.live_clone_count(), 1);
+    }
+
+    #[test]
+    fn stage_cannot_be_cloned() {
+        let mut w = world_with_sprite();
+        assert_eq!(w.clone_sprite(0), Err(VmError::StageCannot("be cloned")));
+    }
+
+    #[test]
+    fn deleting_a_clone_keeps_ids_stable() {
+        let mut w = world_with_sprite();
+        let id = w.clone_sprite(1).unwrap();
+        w.delete_clone(id);
+        assert!(!w.sprites[id].alive);
+        assert_eq!(w.live_clone_count(), 0);
+        // Originals can't be deleted.
+        w.delete_clone(1);
+        assert!(w.sprites[1].alive);
+    }
+
+    #[test]
+    fn move_steps_follows_snap_heading_convention() {
+        let mut s = SpriteInstance::stage();
+        s.heading = 90.0; // right
+        s.move_steps(10.0);
+        assert!((s.x - 10.0).abs() < 1e-9 && s.y.abs() < 1e-9);
+        s.heading = 0.0; // up
+        s.move_steps(10.0);
+        assert!((s.y - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolve_clone_target_handles_myself() {
+        let w = world_with_sprite();
+        assert_eq!(
+            w.resolve_clone_target(1, &Value::text("myself")).unwrap(),
+            1
+        );
+        assert_eq!(w.resolve_clone_target(1, &Value::text("Cat")).unwrap(), 1);
+        assert!(w.resolve_clone_target(1, &Value::text("Dog")).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the cooperative scheduler's invariants.
+
+use proptest::prelude::*;
+
+use snap_ast::builder::*;
+use snap_ast::{Constant, Project, Script, SpriteDef, Stmt, Value};
+use snap_vm::{Interference, Vm, VmConfig};
+
+fn run(project: Project) -> Vm {
+    let mut vm = Vm::new(project);
+    vm.green_flag();
+    vm.run_until_idle();
+    vm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn repeat_wait_takes_exactly_n_timesteps(n in 0u64..25) {
+        // repeat n { wait 1 } then read the timer: the wait absorbs the
+        // loop-bottom yield, so elapsed == n.
+        let project = Project::new("p").with_sprite(
+            SpriteDef::new("S").with_script(Script::on_green_flag(vec![
+                Stmt::ResetTimer,
+                repeat(num(n as f64), vec![wait(num(1.0))]),
+                say(timer()),
+            ])),
+        );
+        let vm = run(project);
+        let expected = n.to_string();
+        prop_assert_eq!(vm.world.said(), vec![expected.as_str()]);
+    }
+
+    #[test]
+    fn for_loop_sums_correctly(n in 0i64..200) {
+        let project = Project::new("p").with_sprite(
+            SpriteDef::new("S").with_script(Script::on_green_flag(vec![
+                set_var("sum", num(0.0)),
+                for_loop("i", num(1.0), num(n as f64), vec![change_var("sum", var("i"))]),
+                say(var("sum")),
+            ])),
+        );
+        let vm = run(project);
+        // Snap!'s `for` counts down when to < from: `for i = 1 to 0`
+        // visits 1 then 0 (sum 1); for n ≥ 1 it's the triangular number.
+        let expected = if n >= 1 { (n * (n + 1)) / 2 } else { 1 }.to_string();
+        prop_assert_eq!(vm.world.said(), vec![expected.as_str()]);
+    }
+
+    #[test]
+    fn runs_are_deterministic(seed in any::<u64>(), reps in 1u64..10) {
+        let build = || Project::new("p").with_sprite(
+            SpriteDef::new("S").with_script(Script::on_green_flag(vec![
+                repeat(num(reps as f64), vec![
+                    say(pick_random(num(1.0), num(1000.0))),
+                    wait(num(1.0)),
+                ]),
+            ])),
+        );
+        let mut a = Vm::new(build());
+        a.world.seed_rng(seed);
+        a.green_flag();
+        a.run_until_idle();
+        let mut b = Vm::new(build());
+        b.world.seed_rng(seed);
+        b.green_flag();
+        b.run_until_idle();
+        prop_assert_eq!(a.world.said(), b.world.said());
+        prop_assert_eq!(a.timestep(), b.timestep());
+    }
+
+    #[test]
+    fn time_slice_never_changes_results(slice in 1u32..512) {
+        // The slice length affects frame boundaries, never outcomes.
+        let project = || Project::new("p").with_sprite(
+            SpriteDef::new("S").with_script(Script::on_green_flag(vec![
+                set_var("acc", num(0.0)),
+                repeat(num(50.0), vec![change_var("acc", num(3.0))]),
+                say(var("acc")),
+            ])),
+        );
+        let mut vm = Vm::with_config(project(), VmConfig { slice_ops: slice, ..VmConfig::default() });
+        vm.green_flag();
+        vm.run_until_idle();
+        prop_assert_eq!(vm.world.said(), vec!["150"]);
+    }
+
+    #[test]
+    fn interference_slows_but_never_corrupts(period in 2u64..8, phase in 0u64..8) {
+        let phase = phase % period;
+        let project = || Project::new("p").with_sprite(
+            SpriteDef::new("S").with_script(Script::on_green_flag(vec![
+                Stmt::ResetTimer,
+                repeat(num(5.0), vec![wait(num(1.0))]),
+                say(text("done")),
+                say(timer()),
+            ])),
+        );
+        let mut clean = Vm::new(project());
+        clean.green_flag();
+        clean.run_until_idle();
+        let mut noisy = Vm::with_config(project(), VmConfig {
+            interference: Some(Interference { period, phase }),
+            ..VmConfig::default()
+        });
+        noisy.green_flag();
+        noisy.run_until_idle();
+        prop_assert_eq!(clean.world.said()[0], "done");
+        prop_assert_eq!(noisy.world.said()[0], "done");
+        let clean_t: u64 = clean.world.said()[1].parse().unwrap();
+        let noisy_t: u64 = noisy.world.said()[1].parse().unwrap();
+        prop_assert!(noisy_t >= clean_t, "interference can only delay");
+    }
+
+    #[test]
+    fn parallel_for_each_serves_every_item_once(
+        n in 1usize..30,
+        parallelism in 1usize..8
+    ) {
+        let items: Vec<Constant> =
+            (0..n).map(|i| Constant::Text(format!("item{i}"))).collect();
+        let project = Project::new("p")
+            .with_global("items", Constant::List(items))
+            .with_sprite(SpriteDef::new("W").with_script(Script::on_green_flag(vec![
+                parallel_for_each_n(
+                    "it",
+                    var("items"),
+                    num(parallelism as f64),
+                    vec![say(var("it"))],
+                ),
+                say(text("done")),
+            ])));
+        let vm = run(project);
+        let mut served: Vec<&str> = vm
+            .world
+            .said()
+            .into_iter()
+            .filter(|s| *s != "done")
+            .collect();
+        served.sort();
+        let mut expected: Vec<String> = (0..n).map(|i| format!("item{i}")).collect();
+        expected.sort();
+        prop_assert_eq!(served, expected.iter().map(String::as_str).collect::<Vec<_>>());
+        // And the join cleaned up every clone.
+        prop_assert_eq!(vm.world.live_clone_count(), 0);
+    }
+
+    #[test]
+    fn map_block_equals_native_map(xs in prop::collection::vec(-1e6f64..1e6, 0..40)) {
+        let items: Vec<snap_ast::Expr> = xs.iter().map(|&x| num(x)).collect();
+        let mut vm = Vm::new(Project::new("p").with_sprite(SpriteDef::new("S")));
+        let out = vm
+            .eval_expr(
+                Some("S"),
+                &map_over(ring_reporter(mul(empty_slot(), num(10.0))), make_list(items)),
+            )
+            .unwrap();
+        let expected: Vec<Value> = xs.iter().map(|&x| Value::Number(x * 10.0)).collect();
+        prop_assert_eq!(out, Value::list(expected));
+    }
+}

@@ -1,0 +1,29 @@
+//! # snap-workers — the Web Worker substrate
+//!
+//! The paper achieves true parallelism by pairing HTML5 Web Workers with
+//! the Parallel.js library (§4.1). This crate is that layer, rebuilt on
+//! OS threads:
+//!
+//! * [`Parallel`] — the Parallel.js-shaped builder API (Listing 1):
+//!   workers spawned per call, results in input order.
+//! * [`WorkerPool`] — a persistent pool (our extension; the
+//!   `ablate_sched` bench compares it against per-call spawning).
+//! * [`ring_map`] / [`ring_map_pairs`] / [`ring_reduce_groups`] — apply
+//!   compiled Snap! rings on workers with structured-clone isolation,
+//!   the analogue of Listing 2's `mappedCode()` → `new Function` →
+//!   `p.map(...)` pipeline.
+//!
+//! Everything here is deliberately independent of the VM: a worker sees
+//! only the compiled ring and the values posted to it, exactly as a Web
+//! Worker sees only the function source and the structured-cloned
+//! message data.
+
+#![warn(missing_docs)]
+
+pub mod parallel;
+pub mod pool;
+pub mod ring_fn;
+
+pub use parallel::{default_workers, map_slice, Parallel, Strategy};
+pub use pool::WorkerPool;
+pub use ring_fn::{ring_map, ring_map_pairs, ring_reduce_groups, Isolation, RingMapOptions};

@@ -1,0 +1,242 @@
+//! A Parallel.js-shaped API on OS threads.
+//!
+//! The paper's Listing 1:
+//!
+//! ```js
+//! var p = new Parallel([1,2,3,4], {maxWorkers: 2});
+//! p.map(mydouble);
+//! console.log(p.data);
+//! ```
+//!
+//! becomes:
+//!
+//! ```
+//! use snap_workers::Parallel;
+//! let data = Parallel::new(vec![1, 2, 3, 4])
+//!     .with_max_workers(2)
+//!     .map(|n| n + n);
+//! assert_eq!(data, vec![2, 4, 6, 8]);
+//! ```
+//!
+//! Like Parallel.js, each call spawns its workers afresh (scoped
+//! threads); the persistent [`crate::WorkerPool`] is the pooled
+//! alternative. Results always come back in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How items are handed to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Workers repeatedly claim the next unprocessed item ("the workers
+    /// systematically process the remaining elements from the list until
+    /// completed", paper §3.2). Balances skewed workloads.
+    #[default]
+    Dynamic,
+    /// Each worker takes one contiguous block of `len / workers` items up
+    /// front. Cheaper coordination, poor balance under skew — the
+    /// `ablate_sched` bench quantifies the difference.
+    Static,
+}
+
+/// Builder mirroring `new Parallel(data, opts)`.
+#[derive(Debug)]
+pub struct Parallel<T> {
+    data: Vec<T>,
+    max_workers: usize,
+    strategy: Strategy,
+}
+
+/// The default worker count: hardware concurrency if known, else 4 —
+/// exactly the paper's `navigator.hardwareConcurrency || 4` (Listing 2).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+impl<T: Send + Sync> Parallel<T> {
+    /// Wrap the input data.
+    pub fn new(data: Vec<T>) -> Parallel<T> {
+        Parallel {
+            data,
+            max_workers: default_workers(),
+            strategy: Strategy::Dynamic,
+        }
+    }
+
+    /// `{maxWorkers: n}`.
+    pub fn with_max_workers(mut self, workers: usize) -> Parallel<T> {
+        self.max_workers = workers.max(1);
+        self
+    }
+
+    /// Select the work-distribution strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Parallel<T> {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Apply `f` to every item in parallel; results in input order.
+    pub fn map<R: Send>(self, f: impl Fn(&T) -> R + Send + Sync) -> Vec<R> {
+        let Parallel {
+            data,
+            max_workers,
+            strategy,
+        } = self;
+        map_slice(&data, max_workers, strategy, f)
+    }
+
+    /// Run `f` on every item in parallel, for its effects.
+    pub fn for_each(self, f: impl Fn(&T) + Send + Sync) {
+        let _ = self.map(|item| f(item));
+    }
+
+    /// Parallel map followed by a sequential fold of the results —
+    /// Parallel.js's `reduce` (the per-item mapping runs on workers, the
+    /// combination is associative-agnostic and stays ordered).
+    pub fn map_reduce<R: Send, A>(
+        self,
+        f: impl Fn(&T) -> R + Send + Sync,
+        init: A,
+        fold: impl FnMut(A, R) -> A,
+    ) -> A {
+        self.map(f).into_iter().fold(init, fold)
+    }
+}
+
+/// Parallel map over a borrowed slice (no move of the input).
+pub fn map_slice<T: Send + Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    strategy: Strategy,
+    f: impl Fn(&T) -> R + Send + Sync,
+) -> Vec<R> {
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let gathered = Mutex::new(&mut out);
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let f = &f;
+        let next = &next;
+        let gathered = &gathered;
+        for w in 0..workers {
+            scope.spawn(move || {
+                // Each worker computes into a private buffer and posts the
+                // batch back once — one "message" per worker, like the
+                // single result message a Web Worker posts.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                match strategy {
+                    Strategy::Dynamic => loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    },
+                    Strategy::Static => {
+                        let chunk = items.len().div_ceil(workers);
+                        let start = (w * chunk).min(items.len());
+                        let end = ((w + 1) * chunk).min(items.len());
+                        for (offset, item) in items[start..end].iter().enumerate() {
+                            local.push((start + offset, f(item)));
+                        }
+                    }
+                }
+                let mut out = gathered.lock().expect("result mutex poisoned");
+                for (i, r) in local {
+                    out[i] = Some(r);
+                }
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|slot| slot.expect("every index processed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing1_example() {
+        // function mydouble(n) { return n+n; }
+        let p = Parallel::new(vec![1, 2, 3, 4]).with_max_workers(2);
+        assert_eq!(p.map(|n| n + n), vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn results_stay_in_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = Parallel::new(items.clone())
+            .with_max_workers(8)
+            .map(|&n| n * 3);
+        assert_eq!(out, items.iter().map(|n| n * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn static_strategy_matches_dynamic_results() {
+        let items: Vec<i64> = (0..257).collect();
+        let a = map_slice(&items, 4, Strategy::Dynamic, |&n| n * n);
+        let b = map_slice(&items, 4, Strategy::Static, |&n| n * n);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let out = Parallel::new(vec![5, 6]).with_max_workers(1).map(|n| n + 1);
+        assert_eq!(out, vec![6, 7]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = Parallel::new(Vec::<i32>::new()).map(|n| *n);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_clamped() {
+        let out = Parallel::new(vec![1, 2]).with_max_workers(64).map(|n| n * 10);
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn for_each_touches_every_item() {
+        use std::sync::atomic::AtomicI64;
+        let sum = AtomicI64::new(0);
+        Parallel::new((1..=100i64).collect::<Vec<_>>())
+            .with_max_workers(4)
+            .for_each(|&n| {
+                sum.fetch_add(n, Ordering::Relaxed);
+            });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn map_reduce_combines_in_order() {
+        let s = Parallel::new(vec!["a", "b", "c"])
+            .with_max_workers(2)
+            .map_reduce(|w| w.to_uppercase(), String::new(), |acc, w| acc + &w);
+        assert_eq!(s, "ABC");
+    }
+
+    #[test]
+    fn skewed_work_completes_under_both_strategies() {
+        let items: Vec<u64> = (0..64).collect();
+        // Item 0 is 100× more expensive.
+        let cost = |&n: &u64| {
+            let reps = if n == 0 { 10_000 } else { 100 };
+            (0..reps).fold(n, |acc, _| acc.wrapping_mul(31).wrapping_add(7))
+        };
+        let a = map_slice(&items, 4, Strategy::Dynamic, cost);
+        let b = map_slice(&items, 4, Strategy::Static, cost);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,158 @@
+//! A persistent worker pool.
+//!
+//! Parallel.js creates its Web Workers anew for every `Parallel` object
+//! (paper Listing 1/2). That is faithful but wasteful; this pool is the
+//! long-lived alternative the parallel backend uses, and the
+//! `ablate_sched`/`ablate_copy` benches compare the two. Workers are OS
+//! threads fed from a crossbeam channel — the share-nothing,
+//! message-passing shape of HTML5 Web Workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// Jobs executed per worker (for tests and load-balance diagnostics).
+    executed: Vec<AtomicU64>,
+}
+
+/// A fixed-size pool of worker threads.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let rx = rx.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("snap-worker-{id}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            shared.executed[id].fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+            shared,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submit a job; it runs on some worker eventually.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool is shutting down")
+            .send(Box::new(job))
+            .expect("worker channel closed");
+    }
+
+    /// Jobs executed so far, per worker.
+    pub fn executed_per_worker(&self) -> Vec<u64> {
+        self.shared
+            .executed
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Run `n` independent jobs `job(i)` and block until all complete.
+    /// State shared with the jobs goes through `Arc`, mirroring how Web
+    /// Worker code shares nothing but what is explicitly sent.
+    pub fn scatter_gather(&self, n: usize, job: impl Fn(usize) + Send + Sync + 'static) {
+        let job = Arc::new(job);
+        let wg = crossbeam::sync::WaitGroup::new();
+        for i in 0..n {
+            let wg = wg.clone();
+            let job = job.clone();
+            self.execute(move || {
+                job(i);
+                drop(wg);
+            });
+        }
+        wg.wait();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.tx.take(); // close the channel: workers drain and exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_runs_every_job_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        pool.scatter_gather(100, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn pool_uses_multiple_workers() {
+        let pool = WorkerPool::new(4);
+        pool.scatter_gather(64, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        let per_worker = pool.executed_per_worker();
+        assert_eq!(per_worker.iter().sum::<u64>(), 64);
+        assert!(
+            per_worker.iter().filter(|&&n| n > 0).count() > 1,
+            "expected more than one worker to participate: {per_worker:?}"
+        );
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        pool.scatter_gather(5, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let pool = WorkerPool::new(2);
+        pool.scatter_gather(10, |_| {});
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,247 @@
+//! Shipping rings to workers.
+//!
+//! The paper's `reportParallelMap` (Listing 2) extracts the user's ringed
+//! operator from the stack frame, renders it to source with
+//! `mappedCode()`, wraps it in `new Function(...)`, and hands it to
+//! Parallel.js; the list data is copied to each Web Worker by
+//! `postMessage`'s structured clone. [`ring_map`] is that pipeline in
+//! Rust: compile the ring to a [`PureFn`] (compile-time purity check
+//! instead of "hope the JS works in the worker"), deep-copy each item
+//! across the thread boundary, evaluate, deep-copy the result back.
+
+use std::sync::Arc;
+
+use snap_ast::{EvalError, PureFn, Ring, Value};
+
+use crate::parallel::{map_slice, Strategy};
+
+/// Whether values crossing the worker boundary are structured-cloned
+/// (the Web Worker model) or shared (what raw threads allow). `Share` is
+/// only for the `ablate_copy` bench — it quantifies what the copy costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Isolation {
+    /// Deep-copy inputs into the worker and results out of it.
+    #[default]
+    Copy,
+    /// Share list storage across threads (safe in Rust — `List` is a
+    /// lock-protected `Arc` — but not what Web Workers do).
+    Share,
+}
+
+/// Options for [`ring_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct RingMapOptions {
+    /// Worker count (clamped to ≥ 1).
+    pub workers: usize,
+    /// Work-distribution strategy.
+    pub strategy: Strategy,
+    /// Boundary-crossing semantics.
+    pub isolation: Isolation,
+    /// Simulated per-item service time, slept by the worker before
+    /// evaluating. Models latency-bound items (a drink takes time to
+    /// pour, a request takes time to answer) so worker scaling is
+    /// observable even on single-core hosts; `None` for real workloads.
+    pub latency: Option<std::time::Duration>,
+}
+
+impl Default for RingMapOptions {
+    fn default() -> Self {
+        RingMapOptions {
+            workers: crate::parallel::default_workers(),
+            strategy: Strategy::Dynamic,
+            isolation: Isolation::Copy,
+            latency: None,
+        }
+    }
+}
+
+/// Apply a reporter ring to every item in parallel. Results come back in
+/// input order; the first error (if any) is reported.
+pub fn ring_map(
+    ring: Arc<Ring>,
+    items: Vec<Value>,
+    options: RingMapOptions,
+) -> Result<Vec<Value>, EvalError> {
+    let f = PureFn::compile(ring)?;
+    let results = map_slice(&items, options.workers, options.strategy, |item| {
+        if let Some(latency) = options.latency {
+            std::thread::sleep(latency);
+        }
+        let input = match options.isolation {
+            Isolation::Copy => item.deep_copy(),
+            Isolation::Share => item.clone(),
+        };
+        f.call1(input).map(|v| match options.isolation {
+            Isolation::Copy => v.deep_copy(),
+            Isolation::Share => v,
+        })
+    });
+    results.into_iter().collect()
+}
+
+/// Apply a reporter ring to every item, returning `[key, value]` pairs —
+/// the worker half of the MapReduce map phase. Identical to [`ring_map`]
+/// but validates each result is a pair.
+pub fn ring_map_pairs(
+    ring: Arc<Ring>,
+    items: Vec<Value>,
+    options: RingMapOptions,
+) -> Result<Vec<(Value, Value)>, EvalError> {
+    let mapped = ring_map(ring, items, options)?;
+    mapped
+        .into_iter()
+        .map(|pair| match pair.as_list() {
+            Some(list) if list.len() >= 2 => Ok((
+                list.item(1).unwrap_or(Value::Nothing),
+                list.item(2).unwrap_or(Value::Nothing),
+            )),
+            _ => Err(EvalError::TypeMismatch {
+                expected: "[key, value] pair from the map function",
+                got: pair.to_display_string(),
+            }),
+        })
+        .collect()
+}
+
+/// Apply a reporter ring once per group in parallel. Each call receives
+/// the group's value list as its single argument (the reduce phase).
+pub fn ring_reduce_groups(
+    ring: Arc<Ring>,
+    groups: Vec<(Value, Vec<Value>)>,
+    options: RingMapOptions,
+) -> Result<Vec<Value>, EvalError> {
+    let f = PureFn::compile(ring)?;
+    let results = map_slice(&groups, options.workers, options.strategy, |(key, values)| {
+        let arg = match options.isolation {
+            Isolation::Copy => Value::list(values.iter().map(Value::deep_copy).collect()),
+            Isolation::Share => Value::list(values.clone()),
+        };
+        f.call1(arg).map(|reduced| {
+            Value::list(vec![
+                key.clone(),
+                match options.isolation {
+                    Isolation::Copy => reduced.deep_copy(),
+                    Isolation::Share => reduced,
+                },
+            ])
+        })
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_ast::builder::*;
+
+    fn times_ten() -> Arc<Ring> {
+        Arc::new(Ring::reporter(mul(empty_slot(), num(10.0))))
+    }
+
+    #[test]
+    fn ring_map_matches_paper_fig6() {
+        let out = ring_map(
+            times_ten(),
+            vec![3.into(), 7.into(), 8.into()],
+            RingMapOptions {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out, vec![30.into(), 70.into(), 80.into()]);
+    }
+
+    #[test]
+    fn ring_map_first_ten_of_large_list() {
+        // Fig. 6 shows the first ten inputs/outputs of a long list.
+        let items: Vec<Value> = (1..=1000).map(|n| Value::Number(n as f64)).collect();
+        let out = ring_map(times_ten(), items, RingMapOptions::default()).unwrap();
+        let first_ten: Vec<f64> = out.iter().take(10).map(Value::to_number).collect();
+        assert_eq!(
+            first_ten,
+            vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
+        );
+    }
+
+    #[test]
+    fn copy_isolation_protects_caller_lists() {
+        // The ring reports its input list unchanged; under Copy isolation
+        // the outputs must not alias the inputs.
+        let identity = Arc::new(Ring::reporter(empty_slot()));
+        let shared = snap_ast::List::from_vec(vec![1.into()]);
+        let out = ring_map(
+            identity,
+            vec![Value::List(shared.clone())],
+            RingMapOptions::default(),
+        )
+        .unwrap();
+        shared.add(2.into());
+        assert_eq!(out[0].as_list().unwrap().len(), 1, "worker saw a copy");
+    }
+
+    #[test]
+    fn share_isolation_aliases() {
+        let identity = Arc::new(Ring::reporter(empty_slot()));
+        let shared = snap_ast::List::from_vec(vec![1.into()]);
+        let out = ring_map(
+            identity,
+            vec![Value::List(shared.clone())],
+            RingMapOptions {
+                isolation: Isolation::Share,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        shared.add(2.into());
+        assert_eq!(out[0].as_list().unwrap().len(), 2, "worker shared storage");
+    }
+
+    #[test]
+    fn impure_ring_is_rejected() {
+        let ring = Arc::new(Ring::reporter(pick_random(num(1.0), num(6.0))));
+        assert!(ring_map(ring, vec![1.into()], RingMapOptions::default()).is_err());
+    }
+
+    #[test]
+    fn eval_errors_propagate_from_workers() {
+        // item 5 of the (too short) input list → index error on workers.
+        let ring = Arc::new(Ring::reporter(item(num(5.0), empty_slot())));
+        let items = vec![Value::list(vec![1.into()]), Value::list(vec![2.into()])];
+        let err = ring_map(ring, items, RingMapOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn ring_map_pairs_validates_shape() {
+        let good = Arc::new(Ring::reporter_with_params(
+            vec!["w".into()],
+            make_list(vec![var("w"), num(1.0)]),
+        ));
+        let pairs =
+            ring_map_pairs(good, vec!["a".into()], RingMapOptions::default()).unwrap();
+        assert_eq!(pairs[0].0, Value::text("a"));
+        let bad = Arc::new(Ring::reporter(empty_slot()));
+        assert!(ring_map_pairs(bad, vec![1.into()], RingMapOptions::default()).is_err());
+    }
+
+    #[test]
+    fn ring_reduce_groups_reduces_each_key() {
+        let sum = Arc::new(Ring::reporter_with_params(
+            vec!["vals".into()],
+            combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+        ));
+        let groups = vec![
+            ("a".into(), vec![1.into(), 2.into()]),
+            ("b".into(), vec![10.into()]),
+        ];
+        let out = ring_reduce_groups(sum, groups, RingMapOptions::default()).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                Value::list(vec!["a".into(), 3.into()]),
+                Value::list(vec!["b".into(), 10.into()]),
+            ]
+        );
+    }
+}

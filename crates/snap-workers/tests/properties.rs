@@ -1,0 +1,100 @@
+//! Property-based tests: worker parallelism must never change results.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use snap_ast::builder::*;
+use snap_ast::{Ring, Value};
+use snap_workers::{map_slice, ring_map, Isolation, RingMapOptions, Strategy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn map_slice_matches_sequential_for_any_worker_count(
+        items in prop::collection::vec(any::<i64>(), 0..200),
+        workers in 1usize..16,
+        dynamic in any::<bool>()
+    ) {
+        let strategy = if dynamic { Strategy::Dynamic } else { Strategy::Static };
+        let expected: Vec<i64> = items.iter().map(|n| n.wrapping_mul(3)).collect();
+        let got = map_slice(&items, workers, strategy, |n| n.wrapping_mul(3));
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dynamic_and_static_strategies_agree(
+        items in prop::collection::vec(any::<u32>(), 0..150),
+        workers in 1usize..9
+    ) {
+        let a = map_slice(&items, workers, Strategy::Dynamic, |n| n.rotate_left(7));
+        let b = map_slice(&items, workers, Strategy::Static, |n| n.rotate_left(7));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ring_map_is_worker_count_invariant(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..60),
+        workers in 1usize..9,
+        k in -50f64..50.0
+    ) {
+        let ring = Arc::new(Ring::reporter(mul(empty_slot(), num(k))));
+        let items: Vec<Value> = xs.iter().map(|&x| Value::Number(x)).collect();
+        let baseline = ring_map(ring.clone(), items.clone(), RingMapOptions {
+            workers: 1,
+            ..Default::default()
+        }).unwrap();
+        let parallel = ring_map(ring, items, RingMapOptions {
+            workers,
+            ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(baseline, parallel);
+    }
+
+    #[test]
+    fn copy_and_share_isolation_agree_on_results(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..40),
+        workers in 1usize..6
+    ) {
+        // A read-only ring must produce identical output either way.
+        let ring = Arc::new(Ring::reporter_with_params(
+            vec!["v".into()],
+            add(var("v"), num(1.0)),
+        ));
+        let items: Vec<Value> = xs.iter().map(|&x| Value::Number(x)).collect();
+        let copy = ring_map(ring.clone(), items.clone(), RingMapOptions {
+            workers,
+            isolation: Isolation::Copy,
+            ..Default::default()
+        }).unwrap();
+        let share = ring_map(ring, items, RingMapOptions {
+            workers,
+            isolation: Isolation::Share,
+            ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(copy, share);
+    }
+
+    #[test]
+    fn inputs_survive_ring_map_unchanged(
+        xs in prop::collection::vec(-1e3f64..1e3, 0..30),
+        workers in 1usize..6
+    ) {
+        // Structured-clone isolation: the caller's nested lists must be
+        // byte-identical after the parallel map.
+        let ring = Arc::new(Ring::reporter(length_of(empty_slot())));
+        let items: Vec<Value> = xs
+            .iter()
+            .map(|&x| Value::list(vec![Value::Number(x)]))
+            .collect();
+        let snapshot: Vec<String> =
+            items.iter().map(Value::to_display_string).collect();
+        let _ = ring_map(ring, items.clone(), RingMapOptions {
+            workers,
+            ..Default::default()
+        }).unwrap();
+        let after: Vec<String> = items.iter().map(Value::to_display_string).collect();
+        prop_assert_eq!(snapshot, after);
+    }
+}

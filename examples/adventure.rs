@@ -1,0 +1,122 @@
+//! Choose your own adventure — an event-driven story in blocks.
+//!
+//! A nod to the reproduction target's title: the story advances by
+//! broadcasting scene messages (Snap!'s event model, paper §2), reads
+//! the player's pre-scripted choices from a first-class list, and uses
+//! `parallelForEach` to animate a swarm of firefly clones in parallel —
+//! the same clone mechanism as the concession stand (§3.3) and the WCD
+//! students' water-balloon game (§5).
+//!
+//! ```sh
+//! cargo run --example adventure
+//! ```
+
+use snap_core::prelude::*;
+
+/// Pop the next choice off the `path` list.
+fn next_choice() -> Vec<Stmt> {
+    vec![
+        set_var("choice", item(num(1.0), var("path"))),
+        Stmt::DeleteOfList {
+            index: num(1.0),
+            list: var("path"),
+        },
+    ]
+}
+
+fn narrator() -> SpriteDef {
+    SpriteDef::new("Narrator")
+        .with_script(Script::on_green_flag(vec![
+            Stmt::ResetTimer,
+            say(text("You wake at a crossroads in a pixel forest.")),
+            broadcast_and_wait("scene:crossroads"),
+            say(join(vec![text("THE END (after "), timer(), text(" timesteps)")])),
+        ]))
+        .with_script(Script::on_message(
+            "scene:crossroads",
+            [
+                next_choice(),
+                vec![
+                    say(join(vec![text("You go "), var("choice"), text(".")])),
+                    if_else(
+                        eq(var("choice"), text("left")),
+                        vec![broadcast_and_wait("scene:forest")],
+                        vec![broadcast_and_wait("scene:cave")],
+                    ),
+                ],
+            ]
+            .concat(),
+        ))
+        .with_script(Script::on_message(
+            "scene:forest",
+            [
+                vec![
+                    say(text("A glade full of fireflies. They all light up at once:")),
+                    // Parallel ambience: one clone per firefly, blinking
+                    // concurrently — this is parallelForEach at work.
+                    parallel_for_each(
+                        "fly",
+                        var("fireflies"),
+                        vec![
+                            wait(num(1.0)),
+                            say(join(vec![text("  * "), var("fly"), text(" blinks")])),
+                        ],
+                    ),
+                ],
+                next_choice(),
+                vec![if_else(
+                    eq(var("choice"), text("follow")),
+                    vec![say(text("The fireflies lead you home. You win!"))],
+                    vec![say(text("You wander all night. You lose."))],
+                )],
+            ]
+            .concat(),
+        ))
+        .with_script(Script::on_message(
+            "scene:cave",
+            [
+                vec![say(text("A dragon sleeps on a heap of gold."))],
+                next_choice(),
+                vec![if_else(
+                    eq(var("choice"), text("sneak")),
+                    vec![say(text("You pocket a coin and tiptoe out. You win!"))],
+                    vec![
+                        say(text("The dragon wakes. You are briefly warm. You lose.")),
+                    ],
+                )],
+            ]
+            .concat(),
+        ))
+}
+
+fn play(choices: &[&str]) -> Vec<String> {
+    let project = Project::new("adventure")
+        .with_global(
+            "path",
+            Constant::List(choices.iter().map(|&c| Constant::Text(c.into())).collect()),
+        )
+        .with_global(
+            "fireflies",
+            Constant::List(vec!["Blinky".into(), "Glow".into(), "Spark".into()]),
+        )
+        .with_global("choice", Constant::Text(String::new()))
+        .with_sprite(narrator());
+    let mut session = Session::load(project);
+    session.run();
+    assert!(session.errors().is_empty(), "story scripts must not error");
+    session.said().iter().map(|s| s.to_string()).collect()
+}
+
+fn main() {
+    for (title, choices) in [
+        ("Playthrough 1: left, follow", &["left", "follow"][..]),
+        ("Playthrough 2: right, sneak", &["right", "sneak"][..]),
+        ("Playthrough 3: right, fight", &["right", "fight"][..]),
+    ] {
+        println!("=== {title} ===");
+        for line in play(choices) {
+            println!("{line}");
+        }
+        println!();
+    }
+}

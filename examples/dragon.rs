@@ -1,0 +1,73 @@
+//! The dragon of Figures 2 and 3 — Snap!'s built-in concurrency.
+//!
+//! Three scripts run "in parallel" on one sprite under the cooperative
+//! scheduler: a forever-flying loop plus two key-press handlers. The
+//! example flies the dragon, steers it with simulated key presses, and
+//! renders stage "screenshots".
+//!
+//! ```sh
+//! cargo run --example dragon
+//! ```
+
+use snap_core::prelude::*;
+use snap_core::vm::{render_stage, StageView};
+
+fn main() {
+    let project = Project::new("dragon").with_sprite(
+        SpriteDef::new("Dragon")
+            .at(-180.0, 0.0)
+            // when green flag clicked: forever { move 12 steps }
+            .with_script(Script::on_green_flag(vec![forever(vec![move_steps(
+                num(12.0),
+            )])]))
+            // when right arrow key pressed: turn right 15 degrees
+            .with_script(Script::on_key(
+                "right arrow",
+                vec![Stmt::TurnRight(num(15.0))],
+            ))
+            // when left arrow key pressed: turn left 15 degrees
+            .with_script(Script::on_key(
+                "left arrow",
+                vec![Stmt::TurnLeft(num(15.0))],
+            )),
+    );
+
+    let mut session = Session::load(project);
+    session.vm.green_flag();
+    let view = StageView {
+        columns: 48,
+        rows: 12,
+        ..StageView::default()
+    };
+
+    let snapshot = |vm: &mut Vm, label: &str| {
+        println!("--- {label} ---");
+        print!("{}", render_stage(&vm.world, vm.timestep(), &view));
+        let dragon = &vm.world.sprites[1];
+        println!(
+            "dragon at ({:.0}, {:.0}) heading {:.0}\n",
+            dragon.x, dragon.y, dragon.heading
+        );
+    };
+
+    session.vm.run_frames(8);
+    snapshot(&mut session.vm, "flying right (heading 90)");
+
+    // The player leans on the left arrow: six presses = 90 degrees.
+    for _ in 0..6 {
+        session.vm.key_press("left arrow");
+    }
+    session.vm.run_frames(8);
+    snapshot(&mut session.vm, "after six left-arrow presses (heading 0 = up)");
+
+    for _ in 0..6 {
+        session.vm.key_press("left arrow");
+    }
+    session.vm.run_frames(10);
+    snapshot(&mut session.vm, "six more: flying left (heading -90)");
+
+    println!(
+        "the forever script is still running ({} live processes) — press the red stop sign",
+        session.vm.process_count()
+    );
+}

@@ -1,0 +1,124 @@
+//! The Women in Computing Day session (paper §5), as a runnable
+//! curriculum.
+//!
+//! "The informal curriculum first focused on the original (sequential)
+//! Snap! environment … approximately 20 minutes through the time period,
+//! we then introduced parallelism via the parallelMap and
+//! parallelForEach blocks. The students were then allowed to program on
+//! their own" — one of them built a game where a basket catches water
+//! balloons falling in parallel. This example walks those same steps,
+//! ending with the balloon game and the survey table.
+//!
+//! ```sh
+//! cargo run --example wcd_curriculum
+//! ```
+
+use snap_core::data::{simulate_cohort, tabulate};
+use snap_core::prelude::*;
+
+/// Step 1 — sequential programming: the first script a student builds.
+fn step_sequential() {
+    println!("== step 1: sequential Snap! (minutes 0-20) ==");
+    let project = Project::new("first-script").with_sprite(
+        SpriteDef::new("Cat").with_script(Script::on_green_flag(vec![
+            say(text("hello, WCD!")),
+            set_var("steps", num(0.0)),
+            repeat(num(5.0), vec![move_steps(num(10.0)), change_var("steps", num(1.0))]),
+            say(join(vec![text("I moved "), var("steps"), text(" times")])),
+        ])),
+    );
+    let mut session = Session::load(project);
+    session.run();
+    for line in session.said() {
+        println!("   Cat: {line}");
+    }
+}
+
+/// Step 2 — the parallel blocks, exactly as introduced in the session.
+fn step_parallel_blocks() {
+    println!("\n== step 2: parallelMap and parallelForEach (minute 20) ==");
+    let mut session = Session::load(
+        Project::new("parallel-intro").with_sprite(SpriteDef::new("Cat")),
+    );
+    let squares = session
+        .eval(
+            Some("Cat"),
+            &parallel_map_over(
+                ring_reporter(mul(empty_slot(), empty_slot())),
+                numbers_from_to(num(1.0), num(10.0)),
+            ),
+        )
+        .expect("parallelMap evaluates");
+    println!("   parallelMap (()x()) over 1..10 -> {squares}");
+}
+
+/// Step 3 — free programming: the water-balloon game the paper calls
+/// "one of the more creative examples of parallelism".
+fn step_balloon_game() {
+    println!("\n== step 3: the water-balloon game (free programming) ==");
+    // Balloons fall in parallel; the basket catches any balloon in the
+    // same column. Deterministic mini-round: 6 balloons, basket sweeps.
+    let project = Project::new("balloons")
+        .with_global(
+            "balloons",
+            Constant::List(
+                (1..=6)
+                    .map(|i| Constant::Number((i * 40 - 140) as f64))
+                    .collect(),
+            ),
+        )
+        .with_global("caught", Constant::Number(0.0))
+        .with_global("basket_x", Constant::Number(-100.0))
+        .with_sprite(
+            SpriteDef::new("Basket").with_script(Script::on_green_flag(vec![
+                // Sweep right, 20 units per timestep.
+                repeat(
+                    num(12.0),
+                    vec![change_var("basket_x", num(20.0)), wait(num(1.0))],
+                ),
+            ])),
+        )
+        .with_sprite(SpriteDef::new("Balloon").with_script(Script::on_green_flag(vec![
+            // All balloons fall concurrently; each takes x-position from
+            // the list and lands after a few timesteps.
+            parallel_for_each(
+                "x",
+                var("balloons"),
+                vec![
+                    wait(num(3.0)), // falling
+                    // caught if the basket is within 30 units at landing
+                    if_then(
+                        lt(abs(sub(var("x"), var("basket_x"))), num(30.0)),
+                        vec![change_var("caught", num(1.0))],
+                    ),
+                ],
+            ),
+            say(join(vec![text("caught "), var("caught"), text(" of 6")])),
+        ])));
+    let mut session = Session::load(project);
+    session.run();
+    let said = session.said();
+    println!("   Balloon: {}", said.last().unwrap());
+    assert!(session.errors().is_empty());
+}
+
+/// Step 4 — the end-of-session survey (paper §5's table).
+fn step_survey() {
+    println!("\n== step 4: the survey (paper section 5) ==");
+    let table = tabulate(&simulate_cohort(100, 2016));
+    println!("   career = CS: {:.0}%   other: {:.0}%   no answer: {:.0}%",
+        table.career_cs_pct, table.career_other_pct, table.career_none_pct);
+    println!("   CS benefits a non-CS career: {:.0}%", table.benefit_pct);
+    println!(
+        "   impression: +{:.0}% / -{:.0}% / ={:.0}%",
+        table.more_favorable_pct, table.less_favorable_pct, table.same_pct
+    );
+}
+
+fn main() {
+    println!("Women in Computing Day, 50-minute session (paper section 5)\n");
+    step_sequential();
+    step_parallel_blocks();
+    step_balloon_game();
+    step_survey();
+}

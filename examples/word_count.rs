@@ -1,0 +1,78 @@
+//! MapReduce word count (paper §3.4, Figs. 11–12).
+//!
+//! Runs the canonical word-count MapReduce as a block script (mapper
+//! `[w, 1]`, summing reducer, input split from a string), then scales to
+//! a generated corpus and compares one worker against many.
+//!
+//! ```sh
+//! cargo run --release --example word_count
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use snap_core::data::{generate_words, reference_counts};
+use snap_core::prelude::*;
+
+fn main() {
+    // --- Figure 11: word count as blocks ----------------------------
+    let sentence = "the quick brown fox jumps over the lazy dog the end";
+    let project = Project::new("word-count").with_sprite(
+        SpriteDef::new("Counter").with_script(Script::on_green_flag(vec![say(map_reduce(
+            ring_reporter_with(vec!["w"], make_list(vec![var("w"), num(1.0)])),
+            ring_reporter_with(
+                vec!["vals"],
+                combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+            ),
+            split(text(sentence), text(" ")),
+        ))])),
+    );
+    let mut session = Session::load(project);
+    session.run();
+    println!("input : {sentence:?}");
+    println!("output: {}", session.said()[0]);
+    println!("        (sorted unique words with counts, as in Fig. 12)\n");
+
+    // --- Scaling: a Zipf corpus, 1 worker vs many --------------------
+    let n = 200_000;
+    let words = generate_words(n, 42);
+    let reference = reference_counts(&words);
+    println!("corpus: {n} Zipf-distributed words, {} unique", reference.len());
+
+    let mapper = Arc::new(Ring::reporter_with_params(
+        vec!["w".into()],
+        make_list(vec![var("w"), num(1.0)]),
+    ));
+    let reducer = Arc::new(Ring::reporter_with_params(
+        vec!["vals".into()],
+        combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+    ));
+    let items: Vec<Value> = words.iter().map(|w| Value::text(w.clone())).collect();
+
+    let mut baseline = None;
+    for workers in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let out = snap_core::parallel::map_reduce(
+            mapper.clone(),
+            reducer.clone(),
+            items.clone(),
+            workers,
+        )
+        .expect("word count runs");
+        let elapsed = start.elapsed();
+        let baseline_time = *baseline.get_or_insert(elapsed);
+        println!(
+            "  {workers} worker(s): {elapsed:>10.2?}  speedup {:.2}x  ({} keys)",
+            baseline_time.as_secs_f64() / elapsed.as_secs_f64(),
+            out.len()
+        );
+        // Validate against the reference counts.
+        assert_eq!(out.len(), reference.len());
+        for (pair, (word, count)) in out.iter().zip(&reference) {
+            let pair = pair.as_list().expect("pair");
+            assert_eq!(pair.item(1).unwrap().to_display_string(), *word);
+            assert_eq!(pair.item(2).unwrap().to_number() as u64, *count);
+        }
+    }
+    println!("all worker counts agree with the sequential reference");
+}

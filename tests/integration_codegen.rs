@@ -1,0 +1,200 @@
+//! Integration tests for the code-mapping pipeline: blocks → text →
+//! compiler → execution (paper §6, Fig. 17's workflow).
+
+use snap_core::build::{parse_kv_output, BuildPipeline};
+use snap_core::codegen::openmp::{
+    averaging_reducer, climate_mapper, emit_mapreduce_openmp, summing_reducer,
+    word_count_mapper, OPENMP_HELLO_RUNNABLE,
+};
+use snap_core::codegen::{emit_c_program, emit_listing5, CodeMapping, Generator, Target};
+use snap_core::prelude::*;
+
+fn build_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("psnap-it-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn listing5_compiles_and_runs_silently() {
+    let pipeline = BuildPipeline::new(build_dir("l5")).unwrap();
+    if !pipeline.has_compiler() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    pipeline.write_source("l5.c", &emit_listing5()).unwrap();
+    let binary = pipeline.compile(&["l5.c"], "l5", false).unwrap();
+    assert_eq!(pipeline.run(&binary, &[]).unwrap(), "");
+}
+
+#[test]
+fn generated_c_scripts_print_what_the_vm_says() {
+    // A computational script, run (a) in the VM and (b) as generated C:
+    // outputs must match line for line.
+    let script = vec![
+        set_var("total", num(0.0)),
+        for_loop(
+            "i",
+            num(1.0),
+            num(10.0),
+            vec![change_var("total", mul(var("i"), var("i")))],
+        ),
+        say(var("total")),
+        if_else(
+            gt(var("total"), num(100.0)),
+            vec![say(num(1.0))],
+            vec![say(num(0.0))],
+        ),
+    ];
+
+    let project = Project::new("t").with_sprite(
+        SpriteDef::new("S").with_script(Script::on_green_flag(script.clone())),
+    );
+    let mut session = Session::load(project);
+    session.run();
+    let vm_output: Vec<String> = session.said().iter().map(|s| s.to_string()).collect();
+
+    let pipeline = BuildPipeline::new(build_dir("agree")).unwrap();
+    if !pipeline.has_compiler() {
+        return;
+    }
+    let c = emit_c_program(&script).unwrap();
+    pipeline.write_source("script.c", &c).unwrap();
+    let binary = pipeline.compile(&["script.c"], "script", false).unwrap();
+    let c_output: Vec<String> = pipeline
+        .run(&binary, &[])
+        .unwrap()
+        .lines()
+        .map(|l| l.trim().to_owned())
+        .collect();
+    assert_eq!(c_output, vm_output, "C and VM disagree\n{c}");
+}
+
+#[test]
+fn openmp_hello_runs_with_threads() {
+    let pipeline = BuildPipeline::new(build_dir("hello")).unwrap();
+    if !pipeline.has_compiler() {
+        return;
+    }
+    pipeline
+        .write_source("hello.c", OPENMP_HELLO_RUNNABLE)
+        .unwrap();
+    let binary = pipeline.compile(&["hello.c"], "hello", true).unwrap();
+    let out = pipeline.run(&binary, &[]).unwrap();
+    assert!(out.matches("hello(").count() >= 1);
+    assert_eq!(out.matches("hello(").count(), out.matches("world(").count());
+}
+
+#[test]
+fn generated_and_in_vm_mapreduce_agree_on_word_count() {
+    let pipeline = BuildPipeline::new(build_dir("wc")).unwrap();
+    if !pipeline.has_compiler() {
+        return;
+    }
+    let words = ["snap", "map", "snap", "reduce", "snap", "map"];
+    let data: Vec<(String, f64)> = words.iter().map(|w| (w.to_string(), 1.0)).collect();
+    let program =
+        emit_mapreduce_openmp(&word_count_mapper(), &summing_reducer(), &data).unwrap();
+    let compiled = pipeline.build_and_run_mapreduce(&program).unwrap();
+
+    // In-VM reference through the parallel backend.
+    let mut session = Session::load(Project::new("t").with_sprite(SpriteDef::new("S")));
+    let result = session
+        .eval(
+            Some("S"),
+            &map_reduce(
+                ring_reporter_with(vec!["w"], make_list(vec![var("w"), num(1.0)])),
+                ring_reporter_with(
+                    vec!["vals"],
+                    combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+                ),
+                make_list(words.iter().map(|w| text(*w)).collect()),
+            ),
+        )
+        .unwrap();
+    let vm_pairs: Vec<(String, f64)> = result
+        .as_list()
+        .unwrap()
+        .to_vec()
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_list().unwrap();
+            (
+                pair.item(1).unwrap().to_display_string(),
+                pair.item(2).unwrap().to_number(),
+            )
+        })
+        .collect();
+    assert_eq!(compiled, vm_pairs);
+}
+
+#[test]
+fn user_defined_mapping_overrides_are_honored() {
+    // The paper: "code mappings for new textual languages can easily be
+    // specified by the user by creating the corresponding mapping block."
+    let mut mapping = CodeMapping::preset(Target::C);
+    mapping.set("say", "puts(<#1>); /* custom */");
+    let mut generator = Generator::new(&mapping);
+    let code = generator.script(&[say(num(1.0))]).unwrap();
+    assert_eq!(code, "puts(1); /* custom */");
+}
+
+#[test]
+fn javascript_and_python_targets_translate_the_same_script() {
+    let script = vec![
+        set_var("xs", number_list([1.0, 2.0, 3.0])),
+        for_each("x", var("xs"), vec![say(var("x"))]),
+    ];
+    for target in [Target::JavaScript, Target::Python] {
+        let mapping = CodeMapping::preset(target);
+        let mut generator = Generator::new(&mapping);
+        let code = generator.script(&script).unwrap();
+        assert!(code.contains("[1, 2, 3]"), "{target:?}:\n{code}");
+        assert!(code.contains("for "), "{target:?}:\n{code}");
+    }
+}
+
+#[test]
+fn python_output_actually_runs_when_python_exists() {
+    let script = vec![
+        set_var("total", num(0.0)),
+        for_loop("i", num(1.0), num(4.0), vec![change_var("total", var("i"))]),
+        say(var("total")),
+    ];
+    let mapping = CodeMapping::preset(Target::Python);
+    let mut generator = Generator::new(&mapping);
+    let code = generator.script(&script).unwrap();
+    let out = std::process::Command::new("python3")
+        .arg("-c")
+        .arg(&code)
+        .output();
+    match out {
+        Ok(out) if out.status.success() => {
+            assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "10");
+        }
+        _ => eprintln!("skipping: no python3"),
+    }
+}
+
+#[test]
+fn parse_kv_output_roundtrip_with_driver_format() {
+    let parsed = parse_kv_output("avg 15.625\n");
+    assert_eq!(parsed, vec![("avg".to_owned(), 15.625)]);
+}
+
+#[test]
+fn climate_program_survives_large_embedded_datasets() {
+    let pipeline = BuildPipeline::new(build_dir("bigclimate")).unwrap();
+    if !pipeline.has_compiler() {
+        return;
+    }
+    let dataset: Vec<(String, f64)> = (0..5000)
+        .map(|i| (format!("ST{:03}", i % 25), 30.0 + (i % 60) as f64))
+        .collect();
+    let program =
+        emit_mapreduce_openmp(&climate_mapper(), &averaging_reducer(), &dataset).unwrap();
+    let results = pipeline.build_and_run_mapreduce(&program).unwrap();
+    assert_eq!(results.len(), 1, "one 'avg' group");
+    let expected = snap_core::data::f_to_c(
+        dataset.iter().map(|(_, v)| v).sum::<f64>() / dataset.len() as f64,
+    );
+    assert!((results[0].1 - expected).abs() < 0.05);
+}

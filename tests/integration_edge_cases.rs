@@ -1,0 +1,272 @@
+//! Edge cases and failure-injection across the whole stack: the inputs
+//! a seventh grader (or a fuzzer) will absolutely produce.
+
+use snap_core::prelude::*;
+
+fn run(project: Project) -> Session {
+    let mut session = Session::load(project);
+    session.run();
+    session
+}
+
+fn script(body: Vec<Stmt>) -> Project {
+    Project::new("t").with_sprite(SpriteDef::new("S").with_script(Script::on_green_flag(body)))
+}
+
+#[test]
+fn repeat_zero_and_negative_run_nothing() {
+    let session = run(script(vec![
+        repeat(num(0.0), vec![say(text("never"))]),
+        repeat(num(-5.0), vec![say(text("never"))]),
+        say(text("done")),
+    ]));
+    assert_eq!(session.said(), vec!["done"]);
+}
+
+#[test]
+fn for_loop_counts_down_when_bounds_reversed() {
+    let session = run(script(vec![for_each(
+        "x",
+        numbers_from_to(num(3.0), num(1.0)),
+        vec![say(var("x"))],
+    )]));
+    assert_eq!(session.said(), vec!["3", "2", "1"]);
+}
+
+#[test]
+fn negative_wait_is_a_plain_yield() {
+    let session = run(script(vec![
+        Stmt::ResetTimer,
+        wait(num(-10.0)),
+        say(timer()),
+    ]));
+    // max(0): the script resumes the very next frame.
+    assert_eq!(session.said(), vec!["1"]);
+}
+
+#[test]
+fn parallel_for_each_over_empty_list_is_a_no_op() {
+    let session = run(script(vec![
+        parallel_for_each("it", make_list(vec![]), vec![say(text("never"))]),
+        say(text("done")),
+    ]));
+    assert_eq!(session.said(), vec!["done"]);
+    assert_eq!(session.vm.world.live_clone_count(), 0);
+}
+
+#[test]
+fn parallel_map_over_empty_list_is_empty() {
+    let mut session = Session::load(Project::new("t").with_sprite(SpriteDef::new("S")));
+    let v = session
+        .eval(
+            Some("S"),
+            &parallel_map_over(ring_reporter(mul(empty_slot(), num(10.0))), make_list(vec![])),
+        )
+        .unwrap();
+    assert_eq!(v, Value::list(vec![]));
+}
+
+#[test]
+fn division_by_zero_follows_ieee() {
+    let mut session = Session::load(Project::new("t").with_sprite(SpriteDef::new("S")));
+    let v = session
+        .eval(Some("S"), &div(num(1.0), num(0.0)))
+        .unwrap()
+        .to_number();
+    assert!(v.is_infinite());
+    let nan = session
+        .eval(Some("S"), &div(num(0.0), num(0.0)))
+        .unwrap()
+        .to_number();
+    assert!(nan.is_nan());
+}
+
+#[test]
+fn item_of_empty_list_kills_only_that_script() {
+    let project = Project::new("t").with_sprite(
+        SpriteDef::new("S")
+            .with_script(Script::on_green_flag(vec![
+                say(item(num(1.0), make_list(vec![]))),
+                say(text("unreachable")),
+            ]))
+            .with_script(Script::on_green_flag(vec![say(text("survivor"))])),
+    );
+    let session = run(project);
+    assert_eq!(session.said(), vec!["survivor"]);
+    assert_eq!(session.errors().len(), 1);
+}
+
+#[test]
+fn clone_of_clone_works_and_cleans_up() {
+    let project = Project::new("t").with_sprite(
+        SpriteDef::new("S")
+            .with_script(Script::on_green_flag(vec![
+                set_var("depth", num(0.0)),
+                clone_myself(),
+                wait(num(5.0)),
+            ]))
+            .with_script(Script::on_clone_start(vec![
+                change_var("depth", num(1.0)),
+                if_then(lt(var("depth"), num(3.0)), vec![clone_myself()]),
+                say(var("depth")),
+                Stmt::DeleteThisClone,
+            ])),
+    );
+    let session = run(project);
+    assert_eq!(session.said(), vec!["1", "2", "3"]);
+    assert_eq!(session.vm.world.live_clone_count(), 0);
+}
+
+#[test]
+fn broadcast_with_no_receivers_is_fine() {
+    let session = run(script(vec![
+        broadcast("into the void"),
+        broadcast_and_wait("also nothing"),
+        say(text("done")),
+    ]));
+    assert_eq!(session.said(), vec!["done"]);
+}
+
+#[test]
+fn broadcast_during_broadcast_chains() {
+    let project = Project::new("t")
+        .with_sprite(
+            SpriteDef::new("S")
+                .with_script(Script::on_green_flag(vec![broadcast_and_wait("one")]))
+                .with_script(Script::on_message(
+                    "one",
+                    vec![say(text("one")), broadcast_and_wait("two")],
+                ))
+                .with_script(Script::on_message("two", vec![say(text("two"))])),
+        );
+    let session = run(project);
+    assert_eq!(session.said(), vec!["one", "two"]);
+}
+
+#[test]
+fn stop_this_script_inside_nested_loops_unwinds_everything() {
+    let session = run(script(vec![
+        forever(vec![forever(vec![
+            say(text("once")),
+            Stmt::Stop(StopKind::ThisScript),
+        ])]),
+        say(text("unreachable")),
+    ]));
+    assert_eq!(session.said(), vec!["once"]);
+}
+
+#[test]
+fn deeply_nested_loops_do_not_blow_the_stack() {
+    // 16 nested repeats of 2 iterations each: 2^16 = 65536 increments
+    // through a 16-deep loop-task stack, all inside warp.
+    let mut body = vec![change_var("n", num(1.0))];
+    for _ in 0..16 {
+        body = vec![repeat(num(2.0), body)];
+    }
+    let mut stmts = vec![set_var("n", num(0.0)), warp(body)];
+    stmts.push(say(var("n")));
+    let session = run(script(stmts));
+    let n: f64 = session.said()[0].parse().unwrap();
+    assert_eq!(n, (1u64 << 16) as f64);
+}
+
+#[test]
+fn text_and_number_coercion_in_arithmetic() {
+    let mut session = Session::load(Project::new("t").with_sprite(SpriteDef::new("S")));
+    // "5" + "3" = 8 (numeric text), "x" + 3 = 3 (non-numeric → 0).
+    assert_eq!(
+        session
+            .eval(Some("S"), &add(text("5"), text("3")))
+            .unwrap(),
+        Value::Number(8.0)
+    );
+    assert_eq!(
+        session.eval(Some("S"), &add(text("x"), num(3.0))).unwrap(),
+        Value::Number(3.0)
+    );
+}
+
+#[test]
+fn unicode_text_survives_the_whole_stack() {
+    let word = "héllo wörld 🌍";
+    let project = script(vec![say(join(vec![text(word), text("!")]))]);
+    let json = project.to_json();
+    let xml = project.to_xml();
+    let mut via_json = Session::load_json(&json).unwrap();
+    via_json.run();
+    let mut via_xml = Session::load_xml(&xml).unwrap();
+    via_xml.run();
+    assert_eq!(via_json.said(), vec![format!("{word}!")]);
+    assert_eq!(via_json.said(), via_xml.said());
+}
+
+#[test]
+fn huge_parallelism_request_is_clamped_to_list_length() {
+    let session = run(script(vec![
+        parallel_for_each_n(
+            "x",
+            number_list([1.0, 2.0]),
+            num(1_000_000.0),
+            vec![say(var("x"))],
+        ),
+        say(text("done")),
+    ]));
+    let mut said = session.said();
+    said.sort();
+    assert_eq!(said, vec!["1", "2", "done"]);
+}
+
+#[test]
+fn ring_called_with_wrong_arity_errors_cleanly() {
+    let mut session = Session::load(Project::new("t").with_sprite(SpriteDef::new("S")));
+    let err = session
+        .eval(
+            Some("S"),
+            &call_ring(
+                ring_reporter_with(vec!["a", "b"], add(var("a"), var("b"))),
+                vec![num(1.0)],
+            ),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("2 inputs"));
+}
+
+#[test]
+fn map_over_non_list_reports_a_type_error() {
+    let mut session = Session::load(Project::new("t").with_sprite(SpriteDef::new("S")));
+    let err = session
+        .eval(
+            Some("S"),
+            &map_over(ring_reporter(empty_slot()), num(42.0)),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("expected a list"));
+}
+
+#[test]
+fn timer_survives_very_long_runs() {
+    let session = run(script(vec![
+        Stmt::ResetTimer,
+        repeat(num(500.0), vec![wait(num(1.0))]),
+        say(timer()),
+    ]));
+    assert_eq!(session.said(), vec!["500"]);
+}
+
+#[test]
+fn many_concurrent_scripts_all_finish() {
+    let mut project = Project::new("t");
+    let mut sprite = SpriteDef::new("S");
+    for i in 0..50 {
+        sprite = sprite.with_script(Script::on_green_flag(vec![
+            wait(num((i % 7) as f64)),
+            change_var("done", num(1.0)),
+        ]));
+    }
+    project = project.with_global("done", Constant::Number(0.0)).with_sprite(sprite);
+    let session = run(project);
+    assert_eq!(
+        session.vm.world.global("done"),
+        Some(&Value::Number(50.0))
+    );
+}

@@ -1,0 +1,218 @@
+//! Integration tests for the parallel blocks: VM × workers × data.
+
+use std::sync::Arc;
+
+use snap_core::data::{generate_noaa, generate_word_values, generate_words, reference_counts,
+    NoaaConfig};
+use snap_core::prelude::*;
+
+fn times_ten_ring() -> Arc<Ring> {
+    Arc::new(Ring::reporter(mul(empty_slot(), num(10.0))))
+}
+
+#[test]
+fn parallel_map_agrees_with_sequential_map_at_scale() {
+    let mut session = Session::load(Project::new("t").with_sprite(SpriteDef::new("S")));
+    let inputs = numbers_from_to(num(1.0), num(5000.0));
+    let sequential = session
+        .eval(
+            Some("S"),
+            &map_over(ring_reporter(mul(empty_slot(), num(10.0))), inputs.clone()),
+        )
+        .unwrap();
+    let parallel = session
+        .eval(
+            Some("S"),
+            &parallel_map_with_workers(
+                ring_reporter(mul(empty_slot(), num(10.0))),
+                inputs,
+                num(8.0),
+            ),
+        )
+        .unwrap();
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn worker_counts_are_result_invariant_for_rings_with_state() {
+    // Rings capturing environment values still evaluate identically on
+    // every worker.
+    let ring = Arc::new(
+        Ring::reporter(add(empty_slot(), var("offset")))
+            .with_captured(vec![("offset".into(), Value::Number(1000.0))]),
+    );
+    let items: Vec<Value> = (0..500).map(|n| Value::Number(n as f64)).collect();
+    let baseline = snap_core::parallel::parallel_map(ring.clone(), items.clone(), 1).unwrap();
+    for workers in [2, 3, 5, 8, 13] {
+        assert_eq!(
+            snap_core::parallel::parallel_map(ring.clone(), items.clone(), workers).unwrap(),
+            baseline
+        );
+    }
+}
+
+#[test]
+fn map_reduce_word_count_matches_reference_on_generated_corpus() {
+    let words = generate_words(5000, 99);
+    let reference = reference_counts(&words);
+    let mapper = Arc::new(Ring::reporter_with_params(
+        vec!["w".into()],
+        make_list(vec![var("w"), num(1.0)]),
+    ));
+    let reducer = Arc::new(Ring::reporter_with_params(
+        vec!["vals".into()],
+        combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+    ));
+    let out = snap_core::parallel::map_reduce(
+        mapper,
+        reducer,
+        generate_word_values(5000, 99),
+        4,
+    )
+    .unwrap();
+    assert_eq!(out.len(), reference.len());
+    for (pair, (word, count)) in out.iter().zip(&reference) {
+        let pair = pair.as_list().unwrap();
+        assert_eq!(pair.item(1).unwrap().to_display_string(), *word);
+        assert_eq!(pair.item(2).unwrap().to_number() as u64, *count);
+    }
+}
+
+#[test]
+fn climate_map_reduce_recovers_the_dataset_mean() {
+    let dataset = generate_noaa(&NoaaConfig {
+        stations: 10,
+        years: 5,
+        readings_per_year: 12,
+        ..NoaaConfig::default()
+    });
+    let mapper = Arc::new(Ring::reporter_with_params(
+        vec!["t".into()],
+        make_list(vec![
+            text("avg"),
+            div(mul(num(5.0), sub(var("t"), num(32.0))), num(9.0)),
+        ]),
+    ));
+    let reducer = Arc::new(Ring::reporter_with_params(
+        vec!["vals".into()],
+        div(
+            combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+            length_of(var("vals")),
+        ),
+    ));
+    let out =
+        snap_core::parallel::map_reduce(mapper, reducer, dataset.temps_f_values(), 4).unwrap();
+    let avg_c = out[0].as_list().unwrap().item(2).unwrap().to_number();
+    let expected = snap_core::data::f_to_c(dataset.mean_f());
+    assert!((avg_c - expected).abs() < 1e-6, "{avg_c} vs {expected}");
+}
+
+#[test]
+fn per_station_map_reduce_produces_one_group_per_station() {
+    // Mapper keyed by station: [station, °C]; reducer averages — the
+    // "per-station climate" variant of the classroom exercise.
+    let dataset = generate_noaa(&NoaaConfig {
+        stations: 7,
+        years: 3,
+        readings_per_year: 12,
+        ..NoaaConfig::default()
+    });
+    let items: Vec<Value> = dataset
+        .readings
+        .iter()
+        .map(|r| Value::list(vec![r.station.clone().into(), r.temp_f.into()]))
+        .collect();
+    let mapper = Arc::new(Ring::reporter_with_params(
+        vec!["row".into()],
+        make_list(vec![
+            item(num(1.0), var("row")),
+            div(
+                mul(num(5.0), sub(item(num(2.0), var("row")), num(32.0))),
+                num(9.0),
+            ),
+        ]),
+    ));
+    let reducer = Arc::new(Ring::reporter_with_params(
+        vec!["vals".into()],
+        div(
+            combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+            length_of(var("vals")),
+        ),
+    ));
+    let out = snap_core::parallel::map_reduce(mapper, reducer, items, 4).unwrap();
+    assert_eq!(out.len(), 7);
+    // Southern stations (low index) are warmer.
+    let first = out[0].as_list().unwrap().item(2).unwrap().to_number();
+    let last = out[6].as_list().unwrap().item(2).unwrap().to_number();
+    assert!(first > last, "ST000 ({first}) should be warmer than ST006 ({last})");
+}
+
+#[test]
+fn vm_parallel_for_each_processes_large_lists_with_bounded_clones() {
+    let n = 100.0;
+    let project = Project::new("pfe")
+        .with_global("done", Constant::Number(0.0))
+        .with_sprite(SpriteDef::new("W").with_script(Script::on_green_flag(vec![
+            parallel_for_each_n(
+                "it",
+                numbers_from_to(num(1.0), num(n)),
+                num(8.0),
+                vec![change_var("done", num(1.0))],
+            ),
+            say(var("done")),
+        ])));
+    let mut session = Session::load(project);
+    session.run();
+    assert_eq!(session.said(), vec!["100"]);
+    assert_eq!(session.vm.world.live_clone_count(), 0, "clones cleaned up");
+}
+
+#[test]
+fn parallel_map_in_worker_pool_handles_nested_lists() {
+    // Items are lists; the ring sums each one: checks structured-clone
+    // isolation with nested structures.
+    let ring = Arc::new(Ring::reporter_with_params(
+        vec!["xs".into()],
+        combine_using(var("xs"), ring_reporter(add(empty_slot(), empty_slot()))),
+    ));
+    let items: Vec<Value> = (0..100)
+        .map(|i| {
+            Value::list(vec![
+                Value::Number(i as f64),
+                Value::Number(1.0),
+                Value::Number(2.0),
+            ])
+        })
+        .collect();
+    let out = snap_core::parallel::parallel_map(ring, items, 4).unwrap();
+    assert_eq!(out[0], Value::Number(3.0));
+    assert_eq!(out[99], Value::Number(102.0));
+}
+
+#[test]
+fn backend_errors_surface_as_script_errors_not_panics() {
+    // item 10 of a 1-element list inside parallelMap → script error.
+    let project = Project::new("err").with_sprite(SpriteDef::new("S").with_script(
+        Script::on_green_flag(vec![
+            say(parallel_map_over(
+                ring_reporter(item(num(10.0), empty_slot())),
+                make_list(vec![make_list(vec![num(1.0)])]),
+            )),
+            say(text("unreachable")),
+        ]),
+    ));
+    let mut session = Session::load(project);
+    session.run();
+    assert!(session.said().is_empty());
+    assert_eq!(session.errors().len(), 1);
+}
+
+#[test]
+fn ring_map_shares_one_compiled_function_across_workers() {
+    // Smoke test that a single compiled PureFn is reused: 10k items
+    // through 8 workers completes quickly and correctly.
+    let items: Vec<Value> = (0..10_000).map(|n| Value::Number(n as f64)).collect();
+    let out = snap_core::parallel::parallel_map(times_ten_ring(), items, 8).unwrap();
+    assert_eq!(out.len(), 10_000);
+    assert_eq!(out[9_999], Value::Number(99_990.0));
+}

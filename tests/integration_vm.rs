@@ -1,0 +1,200 @@
+//! Cross-crate integration tests: whole projects through the public API.
+
+use snap_core::prelude::*;
+
+/// The paper's Fig. 2/3 dragon project: a forever-moving sprite steered
+/// by arrow keys.
+fn dragon_project() -> Project {
+    Project::new("dragon").with_sprite(
+        SpriteDef::new("Dragon")
+            .with_script(Script::on_green_flag(vec![forever(vec![move_steps(
+                num(2.0),
+            )])]))
+            .with_script(Script::on_key(
+                "right arrow",
+                vec![Stmt::TurnRight(num(15.0))],
+            ))
+            .with_script(Script::on_key(
+                "left arrow",
+                vec![Stmt::TurnLeft(num(15.0))],
+            )),
+    )
+}
+
+#[test]
+fn dragon_flies_and_steers() {
+    let mut session = Session::load(dragon_project());
+    session.vm.green_flag();
+    session.vm.run_frames(10);
+    let x_after_10 = session.vm.world.sprites[1].x;
+    assert!(x_after_10 > 0.0, "the dragon moves right while heading 90");
+
+    // Steer left twice: two key presses, each one turn block.
+    session.vm.key_press("left arrow");
+    session.vm.key_press("left arrow");
+    session.vm.run_frames(5);
+    assert_eq!(session.vm.world.sprites[1].heading, 60.0);
+
+    // The forever loop keeps running: stop needs the red button.
+    assert!(session.vm.process_count() >= 1);
+}
+
+#[test]
+fn project_survives_save_load_run_cycle() {
+    let project = Project::new("roundtrip")
+        .with_global("total", Constant::Number(0.0))
+        .with_sprite(SpriteDef::new("Adder").with_script(Script::on_green_flag(vec![
+            for_loop("i", num(1.0), num(100.0), vec![change_var("total", var("i"))]),
+            say(var("total")),
+        ])));
+    let json = project.to_json();
+    let reloaded = Project::from_json(&json).expect("valid project JSON");
+    assert_eq!(reloaded, project);
+
+    let mut a = Session::load(project);
+    let mut b = Session::load(reloaded);
+    a.run();
+    b.run();
+    assert_eq!(a.said(), b.said());
+    assert_eq!(a.said(), vec!["5050"]);
+}
+
+#[test]
+fn two_sprites_collaborate_via_broadcasts() {
+    let project = Project::new("pingpong")
+        .with_global("rally", Constant::Number(0.0))
+        .with_sprite(SpriteDef::new("Ping").with_script(Script::on_green_flag(vec![
+            repeat(
+                num(3.0),
+                vec![broadcast_and_wait("pong"), change_var("rally", num(1.0))],
+            ),
+            say(var("rally")),
+        ])))
+        .with_sprite(SpriteDef::new("Pong").with_script(Script::on_message(
+            "pong",
+            vec![change_var("rally", num(1.0))],
+        )));
+    let mut session = Session::load(project);
+    session.run();
+    assert_eq!(session.said(), vec!["6"]);
+}
+
+#[test]
+fn custom_blocks_compose_across_sprites() {
+    let project = Project::new("custom")
+        .with_global_block(CustomBlock::reporter_expr(
+            "celsius",
+            vec!["f".into()],
+            div(mul(num(5.0), sub(var("f"), num(32.0))), num(9.0)),
+        ))
+        .with_global_block(CustomBlock::command(
+            "announce",
+            vec!["t".into()],
+            vec![say(join(vec![
+                text("it is "),
+                call_custom("celsius", vec![var("t")]),
+                text(" C"),
+            ]))],
+        ))
+        .with_sprite(SpriteDef::new("Weather").with_script(Script::on_green_flag(vec![
+            Stmt::CallCustom("announce".into(), vec![num(212.0)]),
+        ])));
+    let mut session = Session::load(project);
+    session.run();
+    assert_eq!(session.said(), vec!["it is 100 C"]);
+}
+
+#[test]
+fn first_class_lists_are_shared_across_scripts() {
+    // Two scripts mutate the same global list; reference semantics mean
+    // both see each other's items.
+    let project = Project::new("shared")
+        .with_global("bag", Constant::List(vec![]))
+        .with_sprite(
+            SpriteDef::new("A")
+                .with_script(Script::on_green_flag(vec![
+                    add_to_list(text("from A"), var("bag")),
+                    wait(num(2.0)),
+                    say(length_of(var("bag"))),
+                ]))
+                .with_script(Script::on_green_flag(vec![add_to_list(
+                    text("from B"),
+                    var("bag"),
+                )])),
+        );
+    let mut session = Session::load(project);
+    session.run();
+    assert_eq!(session.said(), vec!["2"]);
+}
+
+#[test]
+fn clones_inherit_state_but_not_identity() {
+    let project = Project::new("clones").with_sprite(
+        SpriteDef::new("Stamp")
+            .with_script(Script::on_green_flag(vec![
+                Stmt::GoToXY(num(10.0), num(20.0)),
+                clone_myself(),
+                say(text("original")),
+            ]))
+            .with_script(Script::on_clone_start(vec![
+                say(join(vec![text("clone at "), sprite_name()])),
+                Stmt::DeleteThisClone,
+            ])),
+    );
+    let mut session = Session::load(project);
+    session.run();
+    let said = session.said();
+    assert!(said.contains(&"original"));
+    assert!(said.contains(&"clone at Stamp"));
+    assert_eq!(session.vm.world.live_clone_count(), 0);
+}
+
+#[test]
+fn stage_scripts_run_too() {
+    let project = Project::new("stage").with_stage_script(Script::on_green_flag(vec![say(
+        text("stage here"),
+    )]));
+    let mut session = Session::load(project);
+    session.run();
+    assert_eq!(session.said(), vec!["stage here"]);
+}
+
+#[test]
+fn keep_and_combine_work_in_scripts() {
+    let project = Project::new("hof").with_sprite(SpriteDef::new("S").with_script(
+        Script::on_green_flag(vec![
+            // keep evens from 1..10, then sum them: 2+4+6+8+10 = 30
+            set_var(
+                "evens",
+                keep_from(
+                    ring_predicate(eq(modulo(empty_slot(), num(2.0)), num(0.0))),
+                    numbers_from_to(num(1.0), num(10.0)),
+                ),
+            ),
+            say(combine_using(
+                var("evens"),
+                ring_reporter(add(empty_slot(), empty_slot())),
+            )),
+        ]),
+    ));
+    let mut session = Session::load(project);
+    session.run();
+    assert_eq!(session.said(), vec!["30"]);
+}
+
+#[test]
+fn deterministic_rng_makes_runs_reproducible() {
+    let project = || {
+        Project::new("rng").with_sprite(SpriteDef::new("S").with_script(
+            Script::on_green_flag(vec![repeat(
+                num(5.0),
+                vec![say(pick_random(num(1.0), num(100.0)))],
+            )]),
+        ))
+    };
+    let mut a = Session::load(project());
+    let mut b = Session::load(project());
+    a.run();
+    b.run();
+    assert_eq!(a.said(), b.said());
+}
