@@ -27,26 +27,22 @@ fn bench_isolation(c: &mut Criterion) {
     for payload in [10usize, 100, 1_000] {
         let items = nested_items(64, payload);
         for (name, isolation) in [("copy", Isolation::Copy), ("share", Isolation::Share)] {
-            group.bench_with_input(
-                BenchmarkId::new(name, payload),
-                &items,
-                |b, items| {
-                    b.iter(|| {
-                        black_box(
-                            ring_map(
-                                ring.clone(),
-                                items.clone(),
-                                RingMapOptions {
-                                    workers: 4,
-                                    isolation,
-                                    ..Default::default()
-                                },
-                            )
-                            .unwrap(),
+            group.bench_with_input(BenchmarkId::new(name, payload), &items, |b, items| {
+                b.iter(|| {
+                    black_box(
+                        ring_map(
+                            ring.clone(),
+                            items.clone(),
+                            RingMapOptions {
+                                workers: 4,
+                                isolation,
+                                ..Default::default()
+                            },
                         )
-                    })
-                },
-            );
+                        .unwrap(),
+                    )
+                })
+            });
         }
     }
     group.finish();

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-use snap_workers::{map_slice, Strategy, WorkerPool};
+use snap_workers::{map_slice, map_slice_with, ExecMode, Strategy};
 
 /// Skewed per-item cost: every 8th item is 20× more expensive.
 fn skewed_cost(i: &u64) -> u64 {
@@ -22,9 +22,7 @@ fn bench_strategy(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(name),
             &strategy,
-            |b, &strategy| {
-                b.iter(|| black_box(map_slice(&items, 4, strategy, skewed_cost)))
-            },
+            |b, &strategy| b.iter(|| black_box(map_slice(&items, 4, strategy, skewed_cost))),
         );
     }
     group.finish();
@@ -38,17 +36,18 @@ fn bench_spawn_vs_pool(c: &mut Criterion) {
     group.sample_size(15);
     group.measurement_time(Duration::from_secs(2));
     let items: Vec<u64> = (0..64).collect();
-    group.bench_function("per_call_spawn", |b| {
-        b.iter(|| black_box(map_slice(&items, 4, Strategy::Dynamic, |&n| n * 2)))
-    });
-    let pool = WorkerPool::new(4);
-    group.bench_function("persistent_pool", |b| {
-        b.iter(|| {
-            pool.scatter_gather(4, move |_| {
-                black_box((0..16u64).map(|n| n * 2).sum::<u64>());
+    for (name, exec) in [
+        ("per_call_spawn", ExecMode::SpawnPerCall),
+        ("persistent_pool", ExecMode::Pooled),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(map_slice_with(&items, 4, Strategy::Dynamic, exec, |&n| {
+                    n * 2
+                }))
             })
-        })
-    });
+        });
+    }
     group.finish();
 }
 

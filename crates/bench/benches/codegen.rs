@@ -23,8 +23,7 @@ fn bench_codegen(c: &mut Criterion) {
     group.bench_function("emit_openmp_mapreduce_1k_rows", |b| {
         b.iter(|| {
             black_box(
-                emit_mapreduce_openmp(&climate_mapper(), &averaging_reducer(), &dataset)
-                    .unwrap(),
+                emit_mapreduce_openmp(&climate_mapper(), &averaging_reducer(), &dataset).unwrap(),
             )
         })
     });

@@ -10,11 +10,9 @@ fn bench_concession(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.sample_size(20);
     for cups in [3usize, 10, 30] {
-        group.bench_with_input(
-            BenchmarkId::new("sequential", cups),
-            &cups,
-            |b, &cups| b.iter(|| black_box(run_concession(false, cups))),
-        );
+        group.bench_with_input(BenchmarkId::new("sequential", cups), &cups, |b, &cups| {
+            b.iter(|| black_box(run_concession(false, cups)))
+        });
         group.bench_with_input(BenchmarkId::new("parallel", cups), &cups, |b, &cups| {
             b.iter(|| black_box(run_concession(true, cups)))
         });

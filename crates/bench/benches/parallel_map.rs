@@ -19,12 +19,8 @@ fn bench_parallel_map_compute(c: &mut Criterion) {
             |b, &workers| {
                 b.iter(|| {
                     black_box(
-                        snap_parallel::parallel_map(
-                            times_ten_ring(),
-                            items.clone(),
-                            workers,
-                        )
-                        .unwrap(),
+                        snap_parallel::parallel_map(times_ten_ring(), items.clone(), workers)
+                            .unwrap(),
                     )
                 })
             },
@@ -60,5 +56,9 @@ fn bench_parallel_map_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_map_compute, bench_parallel_map_latency);
+criterion_group!(
+    benches,
+    bench_parallel_map_compute,
+    bench_parallel_map_latency
+);
 criterion_main!(benches);

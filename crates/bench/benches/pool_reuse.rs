@@ -1,0 +1,66 @@
+//! Pool-reuse ablation: the acceptance bench for the persistent pooled
+//! executor. Runs the same 1 000-item `parallelMap` of a cheap ring
+//! (`(( ) × 10)`) under both execution modes:
+//!
+//! * `pooled` — the shared process-wide `WorkerPool` (threads created
+//!   once, reused for every call);
+//! * `spawn_per_call` — the paper-faithful Parallel.js behaviour, four
+//!   fresh OS threads per map, joined before returning.
+//!
+//! On a cheap ring the per-item work is tiny, so the per-call thread
+//! spawn/join tax dominates `spawn_per_call`; the pooled mode pays only
+//! the channel send + wait-group handshake.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use snap_ast::builder::{empty_slot, mul, num};
+use snap_ast::{Ring, Value};
+use snap_workers::{ring_map, ExecMode, RingMapOptions};
+
+const ITEMS: usize = 1_000;
+const WORKERS: usize = 4;
+
+fn cheap_ring() -> Arc<Ring> {
+    // (( ) × 10) — the cheapest useful reporter ring.
+    Arc::new(Ring::reporter(mul(empty_slot(), num(10.0))))
+}
+
+fn inputs() -> Vec<Value> {
+    (0..ITEMS).map(|n| Value::from(n as f64)).collect()
+}
+
+fn bench_pool_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_reuse");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(ITEMS as u64));
+
+    let ring = cheap_ring();
+    let items = inputs();
+
+    for (name, exec) in [
+        ("pooled", ExecMode::Pooled),
+        ("spawn_per_call", ExecMode::SpawnPerCall),
+    ] {
+        let ring = ring.clone();
+        let items = items.clone();
+        group.bench_function(name, move |b| {
+            b.iter(|| {
+                let options = RingMapOptions {
+                    workers: WORKERS,
+                    exec,
+                    ..RingMapOptions::default()
+                };
+                black_box(ring_map(ring.clone(), black_box(items.clone()), options).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_reuse);
+criterion_main!(benches);

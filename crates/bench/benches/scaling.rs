@@ -41,16 +41,12 @@ fn bench_crossover(c: &mut Criterion) {
         let items = number_items(n);
         group.bench_with_input(BenchmarkId::new("seq", n), &items, |b, items| {
             b.iter(|| {
-                black_box(
-                    snap_parallel::parallel_map(times_ten_ring(), items.clone(), 1).unwrap(),
-                )
+                black_box(snap_parallel::parallel_map(times_ten_ring(), items.clone(), 1).unwrap())
             })
         });
         group.bench_with_input(BenchmarkId::new("par4", n), &items, |b, items| {
             b.iter(|| {
-                black_box(
-                    snap_parallel::parallel_map(times_ten_ring(), items.clone(), 4).unwrap(),
-                )
+                black_box(snap_parallel::parallel_map(times_ten_ring(), items.clone(), 4).unwrap())
             })
         });
     }

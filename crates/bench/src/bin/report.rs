@@ -12,8 +12,10 @@ use bench::*;
 use snap_ast::builder::*;
 use snap_ast::{Project, Script, SpriteDef, Value};
 use snap_codegen::openmp;
-use snap_data::{generate_noaa, generate_word_values, generate_words, reference_counts,
-    simulate_cohort, tabulate, NoaaConfig, PAPER_TABLE};
+use snap_data::{
+    generate_noaa, generate_word_values, generate_words, reference_counts, simulate_cohort,
+    tabulate, NoaaConfig, PAPER_TABLE,
+};
 use snap_vm::Vm;
 
 fn main() {
@@ -94,13 +96,9 @@ fn e11() {
         net_cost_per_item: 100,
         ..base
     };
-    let rows = snap_parallel::strong_scaling_sweep(
-        times_ten_ring(),
-        items,
-        &netty,
-        &[1, 2, 4, 8, 16, 32],
-    )
-    .unwrap();
+    let rows =
+        snap_parallel::strong_scaling_sweep(times_ten_ring(), items, &netty, &[1, 2, 4, 8, 16, 32])
+            .unwrap();
     for (nodes, makespan, speedup) in rows {
         println!("    {nodes:>3} nodes: makespan {makespan:>8}  speedup {speedup:5.2}x");
     }
@@ -151,7 +149,10 @@ fn e12() {
         &snap_build::BatchRequest::default(),
     ) {
         Ok(report) => {
-            println!("  submission script generated ({} lines, #SBATCH outline)", report.script.lines().count());
+            println!(
+                "  submission script generated ({} lines, #SBATCH outline)",
+                report.script.lines().count()
+            );
             println!(
                 "  queued {} tick(s) behind background load, state {:?}",
                 report.queue_wait, report.state
@@ -192,11 +193,10 @@ fn e13() {
     // (a) the psnap VM (warp: pure compute, no scheduler yields).
     let vm_script = vec![warp(script.clone())];
     let start = Instant::now();
-    let mut vm = Vm::new(
-        Project::new("e13").with_sprite(
+    let mut vm =
+        Vm::new(Project::new("e13").with_sprite(
             SpriteDef::new("S").with_script(snap_ast::Script::on_green_flag(vm_script)),
-        ),
-    );
+        ));
     vm.green_flag();
     vm.run_until_idle();
     let vm_time = start.elapsed();
@@ -218,8 +218,8 @@ fn e13() {
                             let c_time = start.elapsed();
                             // C prints via %g (possibly scientific):
                             // compare numerically.
-                            let c_ok = out.trim().parse::<f64>().ok()
-                                == expected.parse::<f64>().ok();
+                            let c_ok =
+                                out.trim().parse::<f64>().ok() == expected.parse::<f64>().ok();
                             println!(
                                 "  generated C (gcc -O2)        : {c_time:>10.2?}  correct: {c_ok}  (incl. process startup)"
                             );
@@ -247,8 +247,7 @@ fn e13() {
         match out {
             Ok(out) if out.status.success() => {
                 let printed = String::from_utf8_lossy(&out.stdout);
-                let py_ok = printed.trim().parse::<f64>().ok()
-                    == expected.parse::<f64>().ok();
+                let py_ok = printed.trim().parse::<f64>().ok() == expected.parse::<f64>().ok();
                 println!(
                     "  generated Python (python3)   : {py_time:>10.2?}  correct: {py_ok}  (incl. interpreter startup)"
                 );
@@ -256,14 +255,20 @@ fn e13() {
             _ => println!("  (python3 unavailable; skipped)"),
         }
     }
-    println!("  programmability: the block script is {} blocks; the generated C is {} lines.",
+    println!(
+        "  programmability: the block script is {} blocks; the generated C is {} lines.",
         snap_ast::Stmt::block_count(&script),
-        snap_codegen::emit_c_program(&script).map(|s| s.lines().count()).unwrap_or(0));
+        snap_codegen::emit_c_program(&script)
+            .map(|s| s.lines().count())
+            .unwrap_or(0)
+    );
     println!();
 }
 
 fn num_cpus() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn header(id: &str, title: &str) {
@@ -379,7 +384,10 @@ fn e4() {
             pair.item(1).unwrap().to_display_string() == *w
                 && pair.item(2).unwrap().to_number() as u64 == *c
         });
-    println!("  {n}-word Zipf corpus: {} unique words, agrees with reference: {agree}", reference.len());
+    println!(
+        "  {n}-word Zipf corpus: {} unique words, agrees with reference: {agree}",
+        reference.len()
+    );
     println!();
 }
 
@@ -456,17 +464,22 @@ fn run_generated(source: &str) {
 fn e7() {
     header("E7", "map example -> C (Fig. 15-16, Listing 5)");
     let code = snap_codegen::emit_listing5();
-    println!(
-        "  generated {} lines; key fragments:",
-        code.lines().count()
-    );
+    println!("  generated {} lines; key fragments:", code.lines().count());
     for fragment in [
         "int a[] = {3, 7, 8};",
         "node_t *b = (node_t *) malloc(sizeof(node_t));",
         "int i; for (i = 1; i <= len; i++){",
         "append((a[i - 1] * 10), b);",
     ] {
-        println!("    {} {}", if code.contains(fragment) { "OK " } else { "MISS" }, fragment);
+        println!(
+            "    {} {}",
+            if code.contains(fragment) {
+                "OK "
+            } else {
+                "MISS"
+            },
+            fragment
+        );
     }
     println!();
 }
@@ -503,8 +516,7 @@ fn e8() {
                         4,
                     )
                     .unwrap();
-                    let vm_avg =
-                        vm_side[0].as_list().unwrap().item(2).unwrap().to_number();
+                    let vm_avg = vm_side[0].as_list().unwrap().item(2).unwrap().to_number();
                     println!(
                         "  OpenMP binary: {} = {:.3} C | in-VM blocks: {:.3} C | agree: {}",
                         results[0].0,
@@ -559,7 +571,10 @@ fn e9() {
 }
 
 fn e10() {
-    header("E10", "worker scaling & crossover (ablation of Fig. 5's worker input)");
+    header(
+        "E10",
+        "worker scaling & crossover (ablation of Fig. 5's worker input)",
+    );
     println!("  latency-bound items (2 ms simulated service time, 48 items):");
     let items = number_items(48);
     let ring = times_ten_ring();
@@ -611,7 +626,11 @@ fn e10() {
         };
         println!(
             "    n={n:<6} 1 worker {t_seq:>10.2?}   4 workers {t_par:>10.2?}   winner: {}",
-            if t_par < t_seq { "parallel" } else { "sequential (overhead)" }
+            if t_par < t_seq {
+                "parallel"
+            } else {
+                "sequential (overhead)"
+            }
         );
     }
     println!();

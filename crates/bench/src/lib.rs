@@ -108,11 +108,13 @@ pub fn concession_project(parallel: bool, cups: usize) -> Project {
         .collect();
     Project::new("concession")
         .with_global("cups", Constant::List(cup_names))
-        .with_sprite(SpriteDef::new("Pitcher").with_script(Script::on_green_flag(vec![
-            Stmt::ResetTimer,
-            serve,
-            say(timer()),
-        ])))
+        .with_sprite(
+            SpriteDef::new("Pitcher").with_script(Script::on_green_flag(vec![
+                Stmt::ResetTimer,
+                serve,
+                say(timer()),
+            ])),
+        )
 }
 
 /// Run the concession stand; returns the timesteps the script reports
@@ -146,10 +148,10 @@ pub fn run_concession_last_fill(parallel: bool, cups: usize) -> u64 {
         .collect();
     let project = Project::new("concession")
         .with_global("cups", Constant::List(cup_names))
-        .with_sprite(SpriteDef::new("Pitcher").with_script(Script::on_green_flag(vec![
-            Stmt::ResetTimer,
-            serve,
-        ])));
+        .with_sprite(
+            SpriteDef::new("Pitcher")
+                .with_script(Script::on_green_flag(vec![Stmt::ResetTimer, serve])),
+        );
     let mut vm = Vm::new(project);
     snap_parallel::install(&mut vm);
     vm.green_flag();
@@ -167,16 +169,16 @@ pub fn run_concession_last_fill(parallel: bool, cups: usize) -> u64 {
 /// iterations of arithmetic in a plain (unwarped) repeat loop, so the
 /// scheduler's slice length is what's being measured.
 pub fn compute_script_project(iters: u64) -> Project {
-    Project::new("compute").with_sprite(SpriteDef::new("S").with_script(
-        Script::on_green_flag(vec![
+    Project::new("compute").with_sprite(SpriteDef::new("S").with_script(Script::on_green_flag(
+        vec![
             set_var("acc", num(0.0)),
             repeat(
                 num(iters as f64),
                 vec![set_var("acc", add(var("acc"), num(1.0)))],
             ),
             say(var("acc")),
-        ]),
-    ))
+        ],
+    )))
 }
 
 #[cfg(test)]

@@ -42,8 +42,8 @@ use snap_vm::{Pid, Vm, VmConfig, VmError};
 pub mod prelude {
     pub use snap_ast::builder::*;
     pub use snap_ast::{
-        BlockKind, Constant, CustomBlock, Expr, HatBlock, List, Project, Ring, Script,
-        SpriteDef, Stmt, StopKind, Value,
+        BlockKind, Constant, CustomBlock, Expr, HatBlock, List, Project, Ring, Script, SpriteDef,
+        Stmt, StopKind, Value,
     };
     pub use snap_vm::{Interference, Vm, VmConfig};
     pub use snap_workers::{Parallel, Strategy};
@@ -156,9 +156,9 @@ mod tests {
 
     #[test]
     fn session_roundtrips_project_json() {
-        let project = Project::new("t").with_sprite(SpriteDef::new("S").with_script(
-            Script::on_green_flag(vec![say(text("hello"))]),
-        ));
+        let project = Project::new("t").with_sprite(
+            SpriteDef::new("S").with_script(Script::on_green_flag(vec![say(text("hello"))])),
+        );
         let json = project.to_json();
         let mut session = Session::load_json(&json).unwrap();
         session.run();
@@ -191,9 +191,9 @@ mod tests {
 
     #[test]
     fn session_loads_xml_projects() {
-        let project = Project::new("x").with_sprite(SpriteDef::new("S").with_script(
-            Script::on_green_flag(vec![say(text("from xml"))]),
-        ));
+        let project = Project::new("x").with_sprite(
+            SpriteDef::new("S").with_script(Script::on_green_flag(vec![say(text("from xml"))])),
+        );
         let mut session = Session::load_xml(&project.to_xml()).unwrap();
         session.run();
         assert_eq!(session.said(), vec!["from xml"]);
@@ -201,8 +201,7 @@ mod tests {
 
     #[test]
     fn eval_uses_true_parallel_backend() {
-        let mut session =
-            Session::load(Project::new("t").with_sprite(SpriteDef::new("S")));
+        let mut session = Session::load(Project::new("t").with_sprite(SpriteDef::new("S")));
         let v = session
             .eval(
                 Some("S"),

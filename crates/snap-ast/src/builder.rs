@@ -369,11 +369,7 @@ pub fn parallel_for_each_n(
 
 /// `parallelForEach` with the parallel input box collapsed — sequential
 /// mode (Fig. 8b).
-pub fn parallel_for_each_sequential(
-    var: impl Into<String>,
-    list: Expr,
-    body: Vec<Stmt>,
-) -> Stmt {
+pub fn parallel_for_each_sequential(var: impl Into<String>, list: Expr, body: Vec<Stmt>) -> Stmt {
     Stmt::ParallelForEach {
         var: var.into(),
         list,

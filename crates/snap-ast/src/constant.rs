@@ -46,9 +46,7 @@ impl Constant {
             Value::Number(n) => Constant::Number(*n),
             Value::Text(s) => Constant::Text(s.clone()),
             Value::Bool(b) => Constant::Bool(*b),
-            Value::List(l) => {
-                Constant::List(l.to_vec().iter().map(Constant::from_value).collect())
-            }
+            Value::List(l) => Constant::List(l.to_vec().iter().map(Constant::from_value).collect()),
         }
     }
 }

@@ -43,7 +43,10 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::UnboundVariable(name) => {
-                write!(f, "a variable of name '{name}' does not exist in this context")
+                write!(
+                    f,
+                    "a variable of name '{name}' does not exist in this context"
+                )
             }
             EvalError::TypeMismatch { expected, got } => {
                 write!(f, "expected a {expected}, got {got}")

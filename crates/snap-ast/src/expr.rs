@@ -390,11 +390,7 @@ impl Expr {
         self.map_slots_inner(&mut |i| f(i), &mut counter)
     }
 
-    fn map_slots_inner(
-        &self,
-        f: &mut dyn FnMut(usize) -> Expr,
-        counter: &mut usize,
-    ) -> Expr {
+    fn map_slots_inner(&self, f: &mut dyn FnMut(usize) -> Expr, counter: &mut usize) -> Expr {
         let go = |e: &Expr, f: &mut dyn FnMut(usize) -> Expr, c: &mut usize| {
             Box::new(e.map_slots_inner(f, c))
         };
@@ -426,20 +422,14 @@ impl Expr {
             Expr::LetterOf(a, b) => Expr::LetterOf(go(a, f, counter), go(b, f, counter)),
             Expr::TextLength(a) => Expr::TextLength(go(a, f, counter)),
             Expr::PickRandom(a, b) => Expr::PickRandom(go(a, f, counter), go(b, f, counter)),
-            Expr::NumbersFromTo(a, b) => {
-                Expr::NumbersFromTo(go(a, f, counter), go(b, f, counter))
-            }
+            Expr::NumbersFromTo(a, b) => Expr::NumbersFromTo(go(a, f, counter), go(b, f, counter)),
             Expr::CallRing(r, args) => Expr::CallRing(
                 go(r, f, counter),
-                args.iter()
-                    .map(|e| e.map_slots_inner(f, counter))
-                    .collect(),
+                args.iter().map(|e| e.map_slots_inner(f, counter)).collect(),
             ),
             Expr::CallCustom(name, args) => Expr::CallCustom(
                 name.clone(),
-                args.iter()
-                    .map(|e| e.map_slots_inner(f, counter))
-                    .collect(),
+                args.iter().map(|e| e.map_slots_inner(f, counter)).collect(),
             ),
             Expr::Map { ring, list } => Expr::Map {
                 ring: go(ring, f, counter),
@@ -526,10 +516,13 @@ mod tests {
     #[test]
     fn slot_substitution_skips_nested_rings() {
         let inner = Expr::Ring(RingExpr::reporter(mul(empty_slot(), num(2.0))));
-        let outer = add(empty_slot(), Expr::Map {
-            ring: Box::new(inner),
-            list: Box::new(empty_slot()),
-        });
+        let outer = add(
+            empty_slot(),
+            Expr::Map {
+                ring: Box::new(inner),
+                list: Box::new(empty_slot()),
+            },
+        );
         assert_eq!(outer.own_empty_slot_count(), 2);
         let replaced = outer.map_own_empty_slots(&mut |i| var(format!("%arg{i}")));
         // The inner ring's slot must survive.

@@ -21,6 +21,7 @@ pub mod constant;
 pub mod error;
 pub mod expr;
 pub mod lint;
+pub mod project_xml;
 pub mod pure;
 pub mod ring;
 pub mod script;
@@ -28,13 +29,12 @@ pub mod sprite;
 pub mod stmt;
 pub mod value;
 pub mod xml;
-pub mod project_xml;
 
 pub use constant::Constant;
 pub use error::EvalError;
 pub use expr::{Attr, BinOp, Expr, RingExpr, RingExprBody, UnOp};
 pub use lint::{lint_project, Lint, LintKind};
-pub use pure::PureFn;
+pub use pure::{compile_cache_stats, compile_cached, PureFn};
 pub use ring::{Ring, RingBody};
 pub use script::{BlockKind, CustomBlock, HatBlock, Script};
 pub use sprite::{Project, SpriteDef};

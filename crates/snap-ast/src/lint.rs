@@ -114,8 +114,7 @@ pub fn lint_project(project: &Project) -> Vec<Lint> {
     }
     // Sprites.
     for sprite in &project.sprites {
-        let sprite_vars: HashSet<&str> =
-            sprite.variables.iter().map(|(n, _)| n.as_str()).collect();
+        let sprite_vars: HashSet<&str> = sprite.variables.iter().map(|(n, _)| n.as_str()).collect();
         let mut visible_blocks = global_blocks.clone();
         visible_blocks.extend(sprite.custom_blocks.iter());
         for script in &sprite.scripts {
@@ -189,10 +188,8 @@ fn always_reports(stmts: &[Stmt]) -> bool {
     for stmt in stmts {
         match stmt {
             Stmt::Report(_) => return true,
-            Stmt::IfElse(_, t, e) => {
-                if always_reports(t) && always_reports(e) {
-                    return true;
-                }
+            Stmt::IfElse(_, t, e) if always_reports(t) && always_reports(e) => {
+                return true;
             }
             Stmt::Forever(_) => return true, // never falls through
             _ => {}
@@ -240,12 +237,10 @@ fn walk_stmts(
             };
 
         match stmt {
-            Stmt::SetVar(name, _) | Stmt::ChangeVar(name, _) => {
-                // Assignment creates the variable if missing (documented
-                // VM behaviour), so record it as defined from here on.
-                if !scope.contains(name) {
-                    scope.push(name.clone());
-                }
+            // Assignment creates the variable if missing (documented
+            // VM behaviour), so record it as defined from here on.
+            Stmt::SetVar(name, _) | Stmt::ChangeVar(name, _) if !scope.contains(name) => {
+                scope.push(name.clone());
             }
             Stmt::DeclareLocals(names) => scope.extend(names.iter().cloned()),
             Stmt::If(_, body) | Stmt::Repeat(_, body) | Stmt::RepeatUntil(_, body) => {
@@ -288,34 +283,30 @@ fn walk_stmts(
                 }
                 subscope(body, Some(var), scope, lints);
             }
-            Stmt::CallCustom(name, args) => {
-                match blocks.iter().find(|b| &b.name == name) {
-                    None => lints.push(Lint {
-                        location: location.to_owned(),
-                        kind: LintKind::UnknownCustomBlock(name.clone()),
-                    }),
-                    Some(block) if block.params.len() != args.len() => lints.push(Lint {
-                        location: location.to_owned(),
-                        kind: LintKind::CustomBlockArity {
-                            name: name.clone(),
-                            expected: block.params.len(),
-                            got: args.len(),
-                        },
-                    }),
-                    Some(_) => {}
-                }
-            }
+            Stmt::CallCustom(name, args) => match blocks.iter().find(|b| &b.name == name) {
+                None => lints.push(Lint {
+                    location: location.to_owned(),
+                    kind: LintKind::UnknownCustomBlock(name.clone()),
+                }),
+                Some(block) if block.params.len() != args.len() => lints.push(Lint {
+                    location: location.to_owned(),
+                    kind: LintKind::CustomBlockArity {
+                        name: name.clone(),
+                        expected: block.params.len(),
+                        got: args.len(),
+                    },
+                }),
+                Some(_) => {}
+            },
             Stmt::Report(_) if !in_reporter => lints.push(Lint {
                 location: location.to_owned(),
                 kind: LintKind::ReportOutsideReporter,
             }),
-            Stmt::Stop(crate::stmt::StopKind::ThisScript) => {
-                if i + 1 < stmts.len() {
-                    lints.push(Lint {
-                        location: location.to_owned(),
-                        kind: LintKind::UnreachableCode,
-                    });
-                }
+            Stmt::Stop(crate::stmt::StopKind::ThisScript) if i + 1 < stmts.len() => {
+                lints.push(Lint {
+                    location: location.to_owned(),
+                    kind: LintKind::UnreachableCode,
+                });
             }
             _ => {}
         }
@@ -376,7 +367,15 @@ fn walk_expr(
             ring_scope.extend(ring.params.iter().cloned());
             match &ring.body {
                 RingExprBody::Reporter(body) | RingExprBody::Predicate(body) => {
-                    walk_ring_expr(body, &ring_scope, globals, sprite_vars, blocks, location, lints);
+                    walk_ring_expr(
+                        body,
+                        &ring_scope,
+                        globals,
+                        sprite_vars,
+                        blocks,
+                        location,
+                        lints,
+                    );
                 }
                 RingExprBody::Command(stmts) => {
                     // `report` inside a command ring legitimately stops
@@ -446,7 +445,15 @@ fn walk_expr(
             list,
         } => {
             walk_expr(mapper, scope, globals, sprite_vars, blocks, location, lints);
-            walk_expr(reducer, scope, globals, sprite_vars, blocks, location, lints);
+            walk_expr(
+                reducer,
+                scope,
+                globals,
+                sprite_vars,
+                blocks,
+                location,
+                lints,
+            );
             walk_expr(list, scope, globals, sprite_vars, blocks, location, lints);
         }
         Expr::Literal(_) | Expr::Attribute(_) => {}
@@ -468,7 +475,13 @@ fn walk_ring_expr(
     // (nested rings keep their own slots and are handled recursively).
     let sanitized = e.map_own_empty_slots(&mut |_| Expr::Literal(crate::Constant::Nothing));
     walk_expr(
-        &sanitized, scope, globals, sprite_vars, blocks, location, lints,
+        &sanitized,
+        scope,
+        globals,
+        sprite_vars,
+        blocks,
+        location,
+        lints,
     );
 }
 
@@ -502,7 +515,10 @@ mod tests {
     #[test]
     fn undefined_variable_is_caught() {
         let project = project_with_script(vec![say(var("ghost"))]);
-        assert_eq!(kinds(&project), vec![LintKind::UndefinedVariable("ghost".into())]);
+        assert_eq!(
+            kinds(&project),
+            vec![LintKind::UndefinedVariable("ghost".into())]
+        );
     }
 
     #[test]
@@ -513,11 +529,7 @@ mod tests {
 
     #[test]
     fn loop_variables_are_in_scope_inside_only() {
-        let ok = project_with_script(vec![for_each(
-            "w",
-            number_list([1.0]),
-            vec![say(var("w"))],
-        )]);
+        let ok = project_with_script(vec![for_each("w", number_list([1.0]), vec![say(var("w"))])]);
         assert!(kinds(&ok).is_empty());
         let bad = project_with_script(vec![
             for_each("w", number_list([1.0]), vec![say(var("w"))]),
@@ -564,10 +576,8 @@ mod tests {
 
     #[test]
     fn unreachable_after_forever() {
-        let project = project_with_script(vec![
-            forever(vec![say(text("tick"))]),
-            say(text("never")),
-        ]);
+        let project =
+            project_with_script(vec![forever(vec![say(text("tick"))]), say(text("never"))]);
         assert_eq!(kinds(&project), vec![LintKind::UnreachableCode]);
     }
 
@@ -576,7 +586,10 @@ mod tests {
         let project = project_with_script(vec![repeat(num(3.0), vec![]), forever(vec![])]);
         let found = kinds(&project);
         assert_eq!(
-            found.iter().filter(|k| **k == LintKind::EmptyLoopBody).count(),
+            found
+                .iter()
+                .filter(|k| **k == LintKind::EmptyLoopBody)
+                .count(),
             2
         );
     }

@@ -111,16 +111,15 @@ fn xml_to_json(node: &XmlNode) -> Result<Json, ProjectXmlError> {
             node.get_attr("value").unwrap_or_default().to_owned(),
         )),
         "array" => {
-            let items: Result<Vec<Json>, _> =
-                node.children.iter().map(xml_to_json).collect();
+            let items: Result<Vec<Json>, _> = node.children.iter().map(xml_to_json).collect();
             Ok(Json::Array(items?))
         }
         "object" => {
             let mut map = serde_json::Map::new();
             for child in &node.children {
-                let name = child.get_attr("name").ok_or_else(|| {
-                    ProjectXmlError::Shape("object field without name".into())
-                })?;
+                let name = child
+                    .get_attr("name")
+                    .ok_or_else(|| ProjectXmlError::Shape("object field without name".into()))?;
                 map.insert(name.to_owned(), xml_to_json(child)?);
             }
             Ok(Json::Object(map))
@@ -141,12 +140,14 @@ mod tests {
         Project::new("xml demo")
             .with_global("total <weird & name>", Constant::Number(1.5))
             .with_global("padded", Constant::Text("  spaces kept  ".into()))
-            .with_sprite(SpriteDef::new("Cat").with_script(Script::on_green_flag(vec![
-                say(parallel_map_over(
-                    ring_reporter(mul(empty_slot(), num(10.0))),
-                    number_list([3.0, 7.0, 8.0]),
-                )),
-            ])))
+            .with_sprite(
+                SpriteDef::new("Cat").with_script(Script::on_green_flag(vec![say(
+                    parallel_map_over(
+                        ring_reporter(mul(empty_slot(), num(10.0))),
+                        number_list([3.0, 7.0, 8.0]),
+                    ),
+                )])),
+            )
     }
 
     #[test]
@@ -162,10 +163,7 @@ mod tests {
     fn whitespace_in_text_values_survives() {
         let project = sample_project();
         let back = Project::from_xml(&project.to_xml()).unwrap();
-        assert_eq!(
-            back.globals[1].1,
-            Constant::Text("  spaces kept  ".into())
-        );
+        assert_eq!(back.globals[1].1, Constant::Text("  spaces kept  ".into()));
     }
 
     #[test]

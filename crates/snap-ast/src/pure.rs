@@ -10,7 +10,8 @@
 //! blocks), then evaluates it re-entrantly against explicit argument
 //! bindings. A `PureFn` is `Send + Sync`, so worker threads can share it.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
 
 use crate::error::EvalError;
 use crate::expr::{BinOp, Expr, RingExprBody, UnOp};
@@ -82,6 +83,82 @@ impl PureFn {
     pub fn call1(&self, arg: Value) -> Result<Value, EvalError> {
         self.call(std::slice::from_ref(&arg))
     }
+}
+
+/// Upper bound on live compile-cache entries; reached only by programs
+/// holding thousands of distinct rings alive at once.
+const COMPILE_CACHE_CAP: usize = 1024;
+
+struct CompileCache {
+    /// Keyed by `Arc::as_ptr` of the ring. The [`Weak`] both detects
+    /// entry death (ring dropped → evictable) and guards against ABA:
+    /// a recycled allocation address only hits when the stored weak
+    /// still upgrades to *this* `Arc`.
+    entries: HashMap<usize, (Weak<Ring>, PureFn)>,
+    hits: u64,
+    misses: u64,
+}
+
+static COMPILE_CACHE: OnceLock<Mutex<CompileCache>> = OnceLock::new();
+
+fn compile_cache() -> &'static Mutex<CompileCache> {
+    COMPILE_CACHE.get_or_init(|| {
+        Mutex::new(CompileCache {
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        })
+    })
+}
+
+/// Compile a ring, memoized on the ring's identity (`Arc` pointer).
+///
+/// Repeatedly mapping the same ring — every iteration of a `parallel
+/// map` loop, every reduce group — re-verifies purity in
+/// [`PureFn::compile`]; this caches the verdict so steady-state calls
+/// cost one hash lookup. Compilation *failures* are not cached (they
+/// are cheap and rare). Entries die with their ring: a dropped `Arc`
+/// leaves a dead [`Weak`] that is evicted on the next capacity sweep.
+pub fn compile_cached(ring: &Arc<Ring>) -> Result<PureFn, EvalError> {
+    let key = Arc::as_ptr(ring) as usize;
+    let mut cache = compile_cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let cached = cache.entries.get(&key).and_then(|(weak, compiled)| {
+        weak.upgrade()
+            .filter(|live| Arc::ptr_eq(live, ring))
+            .map(|_| compiled.clone())
+    });
+    match cached {
+        Some(compiled) => {
+            cache.hits += 1;
+            return Ok(compiled);
+        }
+        None => {
+            // Absent, or stale: the address was recycled by another ring.
+            cache.entries.remove(&key);
+        }
+    }
+    cache.misses += 1;
+    let compiled = PureFn::compile(ring.clone())?;
+    if cache.entries.len() >= COMPILE_CACHE_CAP {
+        cache.entries.retain(|_, (weak, _)| weak.strong_count() > 0);
+    }
+    if cache.entries.len() < COMPILE_CACHE_CAP {
+        cache
+            .entries
+            .insert(key, (Arc::downgrade(ring), compiled.clone()));
+    }
+    Ok(compiled)
+}
+
+/// Compile-cache hit/miss counters since process start (for tests and
+/// diagnostics).
+pub fn compile_cache_stats() -> (u64, u64) {
+    let cache = compile_cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    (cache.hits, cache.misses)
 }
 
 /// Evaluation context: visible bindings plus the empty-slot argument
@@ -415,15 +492,13 @@ mod tests {
     #[test]
     fn single_arg_fills_all_empty_slots() {
         // (( ) + ( )) with one argument: both slots get it.
-        let f = PureFn::compile(Arc::new(Ring::reporter(add(empty_slot(), empty_slot()))))
-            .unwrap();
+        let f = PureFn::compile(Arc::new(Ring::reporter(add(empty_slot(), empty_slot())))).unwrap();
         assert_eq!(f.call1(Value::Number(4.0)).unwrap(), Value::Number(8.0));
     }
 
     #[test]
     fn multiple_args_fill_slots_positionally() {
-        let f = PureFn::compile(Arc::new(Ring::reporter(sub(empty_slot(), empty_slot()))))
-            .unwrap();
+        let f = PureFn::compile(Arc::new(Ring::reporter(sub(empty_slot(), empty_slot())))).unwrap();
         assert_eq!(
             f.call(&[Value::Number(10.0), Value::Number(3.0)]).unwrap(),
             Value::Number(7.0)
@@ -551,6 +626,45 @@ mod tests {
         assert_eq!(
             out,
             Value::list(vec!["the".into(), "quick".into(), "fox".into()])
+        );
+    }
+
+    #[test]
+    fn compile_cache_returns_same_function_for_same_ring() {
+        let ring = Arc::new(Ring::reporter(add(empty_slot(), num(1.0))));
+        let (hits_before, _) = compile_cache_stats();
+        let first = compile_cached(&ring).unwrap();
+        let second = compile_cached(&ring).unwrap();
+        assert!(
+            Arc::ptr_eq(first.ring(), second.ring()),
+            "both compilations must share the ring"
+        );
+        let (hits_after, _) = compile_cache_stats();
+        assert!(
+            hits_after > hits_before,
+            "second compile of the same Arc must hit the cache"
+        );
+    }
+
+    #[test]
+    fn compile_cache_distinguishes_distinct_rings() {
+        // Structurally identical but distinct Arcs: identity-keyed, so
+        // each compiles (and caches) separately.
+        let a = Arc::new(Ring::reporter(add(empty_slot(), num(2.0))));
+        let b = Arc::new(Ring::reporter(add(empty_slot(), num(2.0))));
+        let fa = compile_cached(&a).unwrap();
+        let fb = compile_cached(&b).unwrap();
+        assert!(!Arc::ptr_eq(fa.ring(), fb.ring()));
+        assert_eq!(fa.call1(1.into()).unwrap(), fb.call1(1.into()).unwrap());
+    }
+
+    #[test]
+    fn compile_cache_rejects_impure_rings_uncached() {
+        let ring = Arc::new(Ring::reporter(pick_random(num(1.0), num(6.0))));
+        assert!(compile_cached(&ring).is_err());
+        assert!(
+            compile_cached(&ring).is_err(),
+            "failure is re-derived, not cached"
         );
     }
 }

@@ -136,10 +136,7 @@ mod tests {
 
     #[test]
     fn script_constructors_set_hats() {
-        assert_eq!(
-            Script::on_green_flag(vec![]).hat,
-            HatBlock::GreenFlag
-        );
+        assert_eq!(Script::on_green_flag(vec![]).hat, HatBlock::GreenFlag);
         assert_eq!(
             Script::on_key("right arrow", vec![]).hat,
             HatBlock::KeyPressed("right arrow".into())

@@ -145,7 +145,10 @@ impl Project {
 
     /// Total command-block count across the whole project.
     pub fn block_count(&self) -> usize {
-        self.sprites.iter().map(SpriteDef::block_count).sum::<usize>()
+        self.sprites
+            .iter()
+            .map(SpriteDef::block_count)
+            .sum::<usize>()
             + self
                 .stage_scripts
                 .iter()

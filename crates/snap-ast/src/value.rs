@@ -13,9 +13,7 @@
 //! payloads (paper §4.1).
 
 use std::fmt;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::ring::Ring;
 
@@ -32,6 +30,18 @@ impl List {
         List(Arc::new(RwLock::new(Vec::new())))
     }
 
+    /// Read-lock the storage. A poisoned lock (a panic while some other
+    /// thread held the guard) is recovered: list operations never leave
+    /// the `Vec` in a torn state, so the data is still coherent.
+    fn read(&self) -> RwLockReadGuard<'_, Vec<Value>> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write-lock the storage, recovering from poison (see [`List::read`]).
+    fn write(&self) -> RwLockWriteGuard<'_, Vec<Value>> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Create a list from existing items.
     pub fn from_vec(items: Vec<Value>) -> Self {
         List(Arc::new(RwLock::new(items)))
@@ -39,12 +49,12 @@ impl List {
 
     /// Number of items.
     pub fn len(&self) -> usize {
-        self.0.read().len()
+        self.read().len()
     }
 
     /// `true` when the list has no items.
     pub fn is_empty(&self) -> bool {
-        self.0.read().is_empty()
+        self.read().is_empty()
     }
 
     /// `item <index> of <list>` — **1-based**, like every Snap! list block.
@@ -53,7 +63,7 @@ impl List {
         if index == 0 {
             return None;
         }
-        self.0.read().get(index - 1).cloned()
+        self.read().get(index - 1).cloned()
     }
 
     /// `replace item <index> of <list> with <value>` (1-based).
@@ -62,7 +72,7 @@ impl List {
         if index == 0 {
             return false;
         }
-        let mut guard = self.0.write();
+        let mut guard = self.write();
         match guard.get_mut(index - 1) {
             Some(slot) => {
                 *slot = value;
@@ -74,14 +84,14 @@ impl List {
 
     /// `add <value> to <list>` — append.
     pub fn add(&self, value: Value) {
-        self.0.write().push(value);
+        self.write().push(value);
     }
 
     /// `insert <value> at <index> of <list>` (1-based). Index `len+1`
     /// appends; anything larger is clamped to append, matching Snap!'s
     /// forgiving semantics.
     pub fn insert(&self, index: usize, value: Value) {
-        let mut guard = self.0.write();
+        let mut guard = self.write();
         let idx = index.saturating_sub(1).min(guard.len());
         guard.insert(idx, value);
     }
@@ -91,7 +101,7 @@ impl List {
         if index == 0 {
             return None;
         }
-        let mut guard = self.0.write();
+        let mut guard = self.write();
         if index <= guard.len() {
             Some(guard.remove(index - 1))
         } else {
@@ -101,29 +111,29 @@ impl List {
 
     /// Remove every item.
     pub fn clear(&self) {
-        self.0.write().clear();
+        self.write().clear();
     }
 
     /// `<list> contains <value>` using Snap!'s loose equality.
     pub fn contains(&self, value: &Value) -> bool {
-        self.0.read().iter().any(|v| v.loose_eq(value))
+        self.read().iter().any(|v| v.loose_eq(value))
     }
 
     /// Snapshot of the current items (shallow copies: nested lists still
     /// share storage).
     pub fn to_vec(&self) -> Vec<Value> {
-        self.0.read().clone()
+        self.read().clone()
     }
 
     /// Replace the entire contents.
     pub fn replace_all(&self, items: Vec<Value>) {
-        *self.0.write() = items;
+        *self.write() = items;
     }
 
     /// Structured clone: recursively copies nested lists so the result
     /// shares no storage with `self`.
     pub fn deep_copy(&self) -> List {
-        List::from_vec(self.0.read().iter().map(Value::deep_copy).collect())
+        List::from_vec(self.read().iter().map(Value::deep_copy).collect())
     }
 
     /// `true` when both handles point at the same storage.
@@ -133,19 +143,19 @@ impl List {
 
     /// Run `f` over a read-locked view of the items without copying.
     pub fn with_items<R>(&self, f: impl FnOnce(&[Value]) -> R) -> R {
-        f(&self.0.read())
+        f(&self.read())
     }
 
     /// Sort the list in place with Snap!'s default ordering
     /// (numeric when both sides are numeric, else textual).
     pub fn sort(&self) {
-        self.0.write().sort_by(Value::snap_cmp);
+        self.write().sort_by(Value::snap_cmp);
     }
 }
 
 impl fmt::Debug for List {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_list().entries(self.0.read().iter()).finish()
+        f.debug_list().entries(self.read().iter()).finish()
     }
 }
 
@@ -154,8 +164,8 @@ impl PartialEq for List {
         if self.same_identity(other) {
             return true;
         }
-        let a = self.0.read();
-        let b = other.0.read();
+        let a = self.read();
+        let b = other.read();
         *a == *b
     }
 }
@@ -326,8 +336,7 @@ impl Value {
             Value::Text(s) => s.clone(),
             Value::Bool(b) => b.to_string(),
             Value::List(l) => {
-                let items: Vec<String> =
-                    l.to_vec().iter().map(Value::to_display_string).collect();
+                let items: Vec<String> = l.to_vec().iter().map(Value::to_display_string).collect();
                 format!("[{}]", items.join(", "))
             }
             Value::Ring(r) => format!("<ring {}>", r.describe()),

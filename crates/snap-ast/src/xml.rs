@@ -207,10 +207,7 @@ pub fn parse(input: &str) -> Result<XmlNode, XmlError> {
     };
     parser.skip_ws();
     if parser.rest().starts_with("<?") {
-        let end = parser
-            .rest()
-            .find("?>")
-            .ok_or(XmlError::UnexpectedEof)?;
+        let end = parser.rest().find("?>").ok_or(XmlError::UnexpectedEof)?;
         parser.pos += end + 2;
         parser.skip_ws();
     }
@@ -287,8 +284,7 @@ impl<'a> Parser<'a> {
                     while self.input.get(self.pos).is_some_and(|&b| b != b'"') {
                         self.pos += 1;
                     }
-                    let raw =
-                        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
                     self.expect(b'"')?;
                     node.attrs.push((name, unescape(&raw)?));
                 }

@@ -152,11 +152,7 @@ impl BatchScheduler {
 
     /// Nodes currently idle.
     pub fn free_nodes(&self) -> usize {
-        let busy: usize = self
-            .running
-            .iter()
-            .map(|id| self.jobs[id].spec.nodes)
-            .sum();
+        let busy: usize = self.running.iter().map(|id| self.jobs[id].spec.nodes).sum();
         self.total_nodes - busy
     }
 
@@ -191,11 +187,7 @@ impl BatchScheduler {
         self.schedule();
 
         // 3. Account utilization and advance.
-        let busy: usize = self
-            .running
-            .iter()
-            .map(|id| self.jobs[id].spec.nodes)
-            .sum();
+        let busy: usize = self.running.iter().map(|id| self.jobs[id].spec.nodes).sum();
         self.busy_node_ticks += busy as u64;
         self.clock += 1;
     }
@@ -378,8 +370,7 @@ mod tests {
         s.run_to_completion(1000);
         // Under strict FIFO the small job waits for the wide head.
         assert!(
-            s.job(small).unwrap().started_at.unwrap()
-                >= s.job(head).unwrap().started_at.unwrap()
+            s.job(small).unwrap().started_at.unwrap() >= s.job(head).unwrap().started_at.unwrap()
         );
     }
 

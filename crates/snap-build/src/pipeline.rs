@@ -137,7 +137,10 @@ impl BuildPipeline {
 
     /// Run a produced binary, returning its stdout.
     pub fn run(&self, binary: &Path, args: &[&str]) -> Result<String, BuildError> {
-        let out = Command::new(binary).args(args).current_dir(&self.dir).output()?;
+        let out = Command::new(binary)
+            .args(args)
+            .current_dir(&self.dir)
+            .output()?;
         if !out.status.success() {
             return Err(BuildError::RunFailed {
                 code: out.status.code(),
@@ -222,7 +225,9 @@ mod tests {
         pipeline
             .write_source("listing5.c", &snap_codegen::emit_listing5())
             .unwrap();
-        let binary = pipeline.compile(&["listing5.c"], "listing5", false).unwrap();
+        let binary = pipeline
+            .compile(&["listing5.c"], "listing5", false)
+            .unwrap();
         // Listing 5 produces no output; success is exit code 0.
         assert_eq!(pipeline.run(&binary, &[]).unwrap(), "");
     }

@@ -201,13 +201,8 @@ mod tests {
         )
         .unwrap();
         let mut cluster = BatchScheduler::new(4, Policy::Backfill);
-        let report = run_on_cluster(
-            &pipeline,
-            &mut cluster,
-            &program,
-            &BatchRequest::default(),
-        )
-        .unwrap();
+        let report =
+            run_on_cluster(&pipeline, &mut cluster, &program, &BatchRequest::default()).unwrap();
         assert_eq!(report.state, JobState::Completed);
         assert_eq!(report.results.len(), 1);
         assert!((report.results[0].1 - 50.0).abs() < 1e-3);

@@ -75,7 +75,10 @@ pub fn map_example_script() -> Vec<Stmt> {
             "i",
             num(1.0),
             var("len"),
-            vec![add_to_list(mul(item(var("i"), var("a")), num(10.0)), var("b"))],
+            vec![add_to_list(
+                mul(item(var("i"), var("a")), num(10.0)),
+                var("b"),
+            )],
         ),
     ]
 }
@@ -110,7 +113,10 @@ mod tests {
             "append((a[i - 1] * 10), b);",
             "return (0);",
         ] {
-            assert!(code.contains(fragment), "missing fragment: {fragment}\n{code}");
+            assert!(
+                code.contains(fragment),
+                "missing fragment: {fragment}\n{code}"
+            );
         }
     }
 

@@ -164,8 +164,7 @@ impl<'a> Generator<'a> {
                 self.fill(unop_key(*op), &[a])
             }
             Expr::MakeList(items) => {
-                let parts: Result<Vec<String>, _> =
-                    items.iter().map(|i| self.expr(i)).collect();
+                let parts: Result<Vec<String>, _> = items.iter().map(|i| self.expr(i)).collect();
                 self.fill("makelist", &[parts?.join(", ")])
             }
             Expr::Item(index, list) => {
@@ -515,7 +514,10 @@ mod tests {
                 "i",
                 num(1.0),
                 var("len"),
-                vec![add_to_list(mul(item(var("i"), var("a")), num(10.0)), var("b"))],
+                vec![add_to_list(
+                    mul(item(var("i"), var("a")), num(10.0)),
+                    var("b"),
+                )],
             )])
             .unwrap();
         assert!(code.contains("int i; for (i = 1; i <= len; i++){"));
@@ -526,10 +528,7 @@ mod tests {
     fn js_map_emits_arrow_callback() {
         let mapping = CodeMapping::preset(Target::JavaScript);
         let mut g = Generator::new(&mapping);
-        let e = map_over(
-            ring_reporter(mul(empty_slot(), num(10.0))),
-            var("data"),
-        );
+        let e = map_over(ring_reporter(mul(empty_slot(), num(10.0))), var("data"));
         assert_eq!(g.expr(&e).unwrap(), "(data).map((__x) => ((__x * 10)))");
     }
 

@@ -136,10 +136,7 @@ impl CodeMapping {
             "for",
             "int <#1>; for (<#1> = <#2>; <#1> <= <#3>; <#1>++){\n    <#4>\n}",
         );
-        self.set(
-            "repeatuntil",
-            "while (!(<#1>)) {\n    <#2>\n}",
-        );
+        self.set("repeatuntil", "while (!(<#1>)) {\n    <#2>\n}");
         self.set("lengthof", "(sizeof(<#1>)/sizeof(<#1>[0]))");
         self.set("item", "<#2>[<#1> - 1]");
         self.set("addtolist", "append(<#1>, <#2>);");
@@ -218,7 +215,10 @@ impl CodeMapping {
         self.set("setvar", "<#1> := <#2>.");
         self.set("changevar", "<#1> := <#1> + <#2>.");
         self.set("if", "(<#1>) ifTrue: [\n    <#2>\n].");
-        self.set("ifelse", "(<#1>)\n    ifTrue: [\n    <#2>\n]\n    ifFalse: [\n    <#3>\n].");
+        self.set(
+            "ifelse",
+            "(<#1>)\n    ifTrue: [\n    <#2>\n]\n    ifFalse: [\n    <#3>\n].",
+        );
         self.set("repeat", "(<#1>) timesRepeat: [\n    <#2>\n].");
         self.set("for", "<#2> to: <#3> do: [:<#1> |\n    <#4>\n].");
         self.set("repeatuntil", "[<#1>] whileFalse: [\n    <#2>\n].");
@@ -262,10 +262,7 @@ impl CodeMapping {
         self.set("addtolist", "<#2>.append(<#1>)");
         self.set("join", "str(<#1>) + str(<#2>)");
         self.set("map", "[(<#1>) for __x in <#2>]");
-        self.set(
-            "parallelmap",
-            "Pool(<#3>).map(lambda __x: (<#1>), <#2>)",
-        );
+        self.set("parallelmap", "Pool(<#3>).map(lambda __x: (<#1>), <#2>)");
         self.set("report", "return (<#1>)");
         self.set("comment", "# <#1>");
     }

@@ -13,7 +13,7 @@
 //! emitted program compiles and runs; the driver keeps Listing 7's
 //! structure (map pragma → qsort on keys → reduce pragma → output).
 
-use snap_ast::{BinOp, Expr, RingBody, RingExprBody, Ring};
+use snap_ast::{BinOp, Expr, Ring, RingBody, RingExprBody};
 
 use crate::gen::{CodegenError, Generator};
 use crate::mapping::{CodeMapping, Target};
@@ -170,9 +170,8 @@ pub fn recognize_reducer(reducer: &Ring) -> Result<ReducerKind, CodegenError> {
         Ok(kind)
     } else {
         Err(CodegenError {
-            message:
-                "unsupported reducer: expected sum, count, or average of the value list"
-                    .to_owned(),
+            message: "unsupported reducer: expected sum, count, or average of the value list"
+                .to_owned(),
         })
     }
 }
@@ -268,7 +267,10 @@ fn emit_mapred_c(spec: &MapReduceSpec) -> String {
             out.push_str(&format!("    strncpy (out->key, {k:?}, MAXKEY);\n"));
         }
     }
-    out.push_str(&format!("    out->val = {};\n    return 0;\n}}\n\n", spec.value_expr));
+    out.push_str(&format!(
+        "    out->val = {};\n    return 0;\n}}\n\n",
+        spec.value_expr
+    ));
 
     out.push_str("int reduce (const KVP *in, size_t count, KVP *out) {\n");
     out.push_str("    strncpy (out->key, in->key, MAXKEY);\n");
@@ -398,10 +400,7 @@ pub fn averaging_reducer() -> Ring {
 /// The word-count mapper of Fig. 11 — `[w, 1]`.
 pub fn word_count_mapper() -> Ring {
     use snap_ast::builder::*;
-    Ring::reporter_with_params(
-        vec!["w".into()],
-        make_list(vec![var("w"), num(1.0)]),
-    )
+    Ring::reporter_with_params(vec!["w".into()], make_list(vec![var("w"), num(1.0)]))
 }
 
 /// The word-count summing reducer.
@@ -436,8 +435,7 @@ mod tests {
     #[test]
     fn count_reducer_is_recognized() {
         use snap_ast::builder::*;
-        let counter =
-            Ring::reporter_with_params(vec!["vals".into()], length_of(var("vals")));
+        let counter = Ring::reporter_with_params(vec!["vals".into()], length_of(var("vals")));
         assert_eq!(recognize_reducer(&counter).unwrap(), ReducerKind::Count);
     }
 

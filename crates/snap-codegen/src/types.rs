@@ -164,9 +164,10 @@ impl TypeEnv {
             }
             Expr::Var(name) => self.var_type(name),
             Expr::Binary(op, a, b) => match op {
-                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Mod => {
-                    self.infer_expr(a).join(&self.infer_expr(b)).join(&CType::Int)
-                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Mod => self
+                    .infer_expr(a)
+                    .join(&self.infer_expr(b))
+                    .join(&CType::Int),
                 BinOp::Div | BinOp::Pow => CType::Double,
                 _ => CType::Bool,
             },
@@ -237,10 +238,7 @@ mod tests {
 
     #[test]
     fn joins_across_assignments() {
-        let env = TypeEnv::infer_script(&[
-            set_var("x", num(3.0)),
-            set_var("x", num(1.5)),
-        ]);
+        let env = TypeEnv::infer_script(&[set_var("x", num(3.0)), set_var("x", num(1.5))]);
         assert_eq!(env.var_type("x"), CType::Double);
     }
 
@@ -263,10 +261,7 @@ mod tests {
 
     #[test]
     fn text_and_number_join_to_any() {
-        let env = TypeEnv::infer_script(&[
-            set_var("x", text("hi")),
-            set_var("x", num(1.0)),
-        ]);
+        let env = TypeEnv::infer_script(&[set_var("x", text("hi")), set_var("x", num(1.0))]);
         assert_eq!(env.var_type("x"), CType::Any);
         // Unknown still has a usable C spelling.
         assert_eq!(env.var_type("x").c_name(), "double");

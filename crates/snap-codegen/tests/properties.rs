@@ -10,10 +10,7 @@ use snap_ast::builder::*;
 use snap_ast::{BinOp, Expr};
 
 fn arith_expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-1000i64..1000).prop_map(|n| num(n as f64)),
-        Just(var("x")),
-    ];
+    let leaf = prop_oneof![(-1000i64..1000).prop_map(|n| num(n as f64)), Just(var("x")),];
     leaf.prop_recursive(4, 32, 2, |inner| {
         (
             prop_oneof![

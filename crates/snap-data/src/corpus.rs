@@ -16,16 +16,15 @@ const VOCABULARY: &[&str] = &[
     "are", "as", "with", "his", "they", "at", "be", "this", "have", "from", "or", "one", "had",
     "by", "word", "but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
     "there", "use", "an", "each", "which", "she", "do", "how", "their", "if", "will", "up",
-    "other", "about", "out", "many", "then", "them", "these", "so", "some", "her", "would",
-    "make", "like", "him", "into", "time", "has", "look", "two", "more", "write", "go", "see",
-    "number", "no", "way", "could", "people", "my", "than", "first", "water", "been", "call",
-    "who", "oil", "its", "now", "find", "long", "down", "day", "did", "get", "come", "made",
-    "may", "part", "snap", "parallel", "worker", "sprite", "block",
+    "other", "about", "out", "many", "then", "them", "these", "so", "some", "her", "would", "make",
+    "like", "him", "into", "time", "has", "look", "two", "more", "write", "go", "see", "number",
+    "no", "way", "could", "people", "my", "than", "first", "water", "been", "call", "who", "oil",
+    "its", "now", "find", "long", "down", "day", "did", "get", "come", "made", "may", "part",
+    "snap", "parallel", "worker", "sprite", "block",
 ];
 
 /// A sentence used throughout the examples (word count's demo input).
-pub const SAMPLE_SENTENCE: &str =
-    "the quick brown fox jumps over the lazy dog while the cat naps";
+pub const SAMPLE_SENTENCE: &str = "the quick brown fox jumps over the lazy dog while the cat naps";
 
 /// Generate `n` words with a Zipf-like distribution (deterministic in
 /// the seed).
@@ -51,7 +50,10 @@ pub fn generate_words(n: usize, seed: u64) -> Vec<String> {
 
 /// The same corpus as Snap! list items.
 pub fn generate_word_values(n: usize, seed: u64) -> Vec<Value> {
-    generate_words(n, seed).into_iter().map(Value::from).collect()
+    generate_words(n, seed)
+        .into_iter()
+        .map(Value::from)
+        .collect()
 }
 
 /// Reference word count (sorted by word), for validating MapReduce
@@ -110,9 +112,6 @@ mod tests {
     fn sample_sentence_counts() {
         let words: Vec<String> = SAMPLE_SENTENCE.split(' ').map(String::from).collect();
         let counts = reference_counts(&words);
-        assert_eq!(
-            counts.iter().find(|(w, _)| w == "the").unwrap().1,
-            3
-        );
+        assert_eq!(counts.iter().find(|(w, _)| w == "the").unwrap().1, 3);
     }
 }

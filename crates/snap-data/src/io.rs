@@ -262,7 +262,10 @@ mod tests {
         for (a, b) in back.readings.iter().zip(&dataset.readings) {
             assert_eq!(a.station, b.station);
             assert_eq!(a.year, b.year);
-            assert!((a.temp_f - b.temp_f).abs() < 1e-3, "3-decimal CSV precision");
+            assert!(
+                (a.temp_f - b.temp_f).abs() < 1e-3,
+                "3-decimal CSV precision"
+            );
         }
     }
 

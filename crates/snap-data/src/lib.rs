@@ -14,6 +14,9 @@ pub mod noaa;
 pub mod survey;
 
 pub use corpus::{generate_word_values, generate_words, reference_counts, SAMPLE_SENTENCE};
+pub use io::{
+    parse_csv, parse_list, read_csv, read_list, read_noaa_csv, write_csv, write_list,
+    write_noaa_csv,
+};
 pub use noaa::{f_to_c, generate as generate_noaa, NoaaConfig, NoaaDataset, Reading, Station};
-pub use io::{parse_csv, parse_list, read_csv, read_list, read_noaa_csv, write_csv, write_list, write_noaa_csv};
 pub use survey::{simulate_cohort, tabulate, Response, SurveyTable, PAPER_TABLE};

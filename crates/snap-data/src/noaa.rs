@@ -260,10 +260,12 @@ mod tests {
             ..NoaaConfig::default()
         });
         let means = d.yearly_means_f();
-        let first_decade: f64 =
-            means[..10].iter().map(|(_, m)| m).sum::<f64>() / 10.0;
-        let last_decade: f64 =
-            means[means.len() - 10..].iter().map(|(_, m)| m).sum::<f64>() / 10.0;
+        let first_decade: f64 = means[..10].iter().map(|(_, m)| m).sum::<f64>() / 10.0;
+        let last_decade: f64 = means[means.len() - 10..]
+            .iter()
+            .map(|(_, m)| m)
+            .sum::<f64>()
+            / 10.0;
         let observed = last_decade - first_decade;
         // 3 decades apart at 1 °F/decade → ≈ 3 °F.
         assert!(

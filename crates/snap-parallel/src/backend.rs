@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use snap_ast::{EvalError, Ring, Value};
 use snap_vm::{ParallelBackend, Vm};
-use snap_workers::{Isolation, RingMapOptions, Strategy};
+use snap_workers::{ExecMode, Isolation, RingMapOptions, Strategy};
 
 use crate::blocks;
 
@@ -19,6 +19,8 @@ pub struct WorkerBackend {
     pub strategy: Strategy,
     /// Boundary-crossing semantics (Copy = Web Worker structured clone).
     pub isolation: Isolation,
+    /// Pooled (default) or spawn-per-call execution.
+    pub exec: ExecMode,
 }
 
 impl Default for WorkerBackend {
@@ -26,16 +28,26 @@ impl Default for WorkerBackend {
         WorkerBackend {
             strategy: Strategy::Dynamic,
             isolation: Isolation::Copy,
+            exec: ExecMode::Pooled,
         }
     }
 }
 
 impl WorkerBackend {
+    /// The paper-faithful configuration: fresh workers per call.
+    pub fn spawn_per_call() -> WorkerBackend {
+        WorkerBackend {
+            exec: ExecMode::SpawnPerCall,
+            ..Default::default()
+        }
+    }
+
     fn options(&self, workers: usize) -> RingMapOptions {
         RingMapOptions {
             workers,
             strategy: self.strategy,
             isolation: self.isolation,
+            exec: self.exec,
             ..Default::default()
         }
     }
@@ -72,6 +84,12 @@ impl ParallelBackend for WorkerBackend {
 /// Install the true-parallel backend on a VM (in place).
 pub fn install(vm: &mut Vm) {
     vm.world.set_backend(Arc::new(WorkerBackend::default()));
+}
+
+/// Install a specific backend configuration (execution mode, strategy,
+/// isolation) on a VM.
+pub fn install_with(vm: &mut Vm, backend: WorkerBackend) {
+    vm.world.set_backend(Arc::new(backend));
 }
 
 /// Convenience: run a ring over items with the default backend (used by

@@ -205,13 +205,7 @@ mod tests {
             cores_per_node: 4,
         };
         let items: Vec<Value> = (0..64).map(|n| Value::Number(n as f64)).collect();
-        let rows = strong_scaling_sweep(
-            times_ten(),
-            items,
-            &spec(1),
-            &[1, 2, 4, 8, 16],
-        )
-        .unwrap();
+        let rows = strong_scaling_sweep(times_ten(), items, &spec(1), &[1, 2, 4, 8, 16]).unwrap();
         let speedup_at_16 = rows.last().unwrap().2;
         assert!(
             speedup_at_16 < 4.0,
@@ -229,8 +223,7 @@ mod tests {
             cores_per_node: 1,
         };
         let items: Vec<Value> = (0..8).map(|n| Value::Number(n as f64)).collect();
-        let rows =
-            strong_scaling_sweep(times_ten(), items, &spec, &[1, 8]).unwrap();
+        let rows = strong_scaling_sweep(times_ten(), items, &spec, &[1, 8]).unwrap();
         let (_, t1, _) = rows[0];
         let (_, t8, speedup8) = rows[1];
         // 8 nodes pay 8 startups (in parallel) and save almost no
@@ -261,8 +254,7 @@ mod tests {
 
     #[test]
     fn empty_input_is_free() {
-        let outcome =
-            distributed_map(times_ten(), Vec::new(), &ClusterSpec::default()).unwrap();
+        let outcome = distributed_map(times_ten(), Vec::new(), &ClusterSpec::default()).unwrap();
         assert!(outcome.results.is_empty());
         assert_eq!(outcome.makespan, 0);
     }

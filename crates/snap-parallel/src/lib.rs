@@ -28,7 +28,7 @@ pub mod blocks;
 pub mod distributed;
 pub mod shuffle;
 
-pub use backend::{install, WorkerBackend};
+pub use backend::{install, install_with, WorkerBackend};
 pub use blocks::{map_reduce, parallel_for_each, parallel_map};
 pub use distributed::{distributed_map, strong_scaling_sweep, ClusterSpec, DistributedOutcome};
-pub use shuffle::shuffle;
+pub use shuffle::{shuffle, shuffle_parallel, shuffle_seq};

@@ -3,13 +3,113 @@
 //! "The elements of the intermediate result are sorted by the value of
 //! the key in between the map function and the reduce function, as
 //! required by the semantics of MapReduce" (paper §3.4, footnote 6).
+//!
+//! Small inputs use the original sequential stable sort. Large inputs
+//! are shuffled in parallel: pairs are hash-partitioned across workers
+//! by a canonical key (chosen so `snap_cmp`-equal keys always share a
+//! bucket), each bucket is stable-sorted with [`Value::snap_cmp`] on the
+//! worker pool, and the sorted buckets are merged. Because equal keys
+//! can never sit in different buckets, the merge reproduces the
+//! sequential stable sort exactly, and the grouping pass is unchanged.
 
 use snap_ast::Value;
+use snap_workers::{default_workers, map_slice_with, ExecMode, Strategy};
+
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, PoisonError};
+
+/// Below this many pairs the partition/merge overhead outweighs the
+/// parallel sort.
+pub const PARALLEL_SHUFFLE_THRESHOLD: usize = 2048;
 
 /// Sort `[key, value]` pairs by key (stable, so mapper output order is
-/// preserved within a key) and group equal keys.
-pub fn shuffle(mut pairs: Vec<(Value, Value)>) -> Vec<(Value, Vec<Value>)> {
+/// preserved within a key) and group equal keys. Dispatches to the
+/// parallel path for inputs of [`PARALLEL_SHUFFLE_THRESHOLD`] pairs or
+/// more.
+pub fn shuffle(pairs: Vec<(Value, Value)>) -> Vec<(Value, Vec<Value>)> {
+    if pairs.len() >= PARALLEL_SHUFFLE_THRESHOLD {
+        shuffle_parallel(pairs, default_workers(), ExecMode::Pooled)
+    } else {
+        shuffle_seq(pairs)
+    }
+}
+
+/// The sequential shuffle: one stable sort, one grouping pass.
+pub fn shuffle_seq(mut pairs: Vec<(Value, Value)>) -> Vec<(Value, Vec<Value>)> {
     pairs.sort_by(|a, b| a.0.snap_cmp(&b.0));
+    group_sorted(pairs)
+}
+
+/// The parallel shuffle, with explicit worker count and execution mode.
+pub fn shuffle_parallel(
+    pairs: Vec<(Value, Value)>,
+    workers: usize,
+    exec: ExecMode,
+) -> Vec<(Value, Vec<Value>)> {
+    let workers = workers.max(1);
+    if workers == 1 || pairs.len() <= 1 {
+        return shuffle_seq(pairs);
+    }
+
+    // Partition by canonical key hash. snap_cmp-equal keys hash alike,
+    // so every run of equal keys lands in exactly one bucket.
+    let bucket_count = workers;
+    let mut buckets: Vec<Vec<(Value, Value)>> = (0..bucket_count).map(|_| Vec::new()).collect();
+    for pair in pairs {
+        let slot = (canonical_key_hash(&pair.0) % bucket_count as u64) as usize;
+        buckets[slot].push(pair);
+    }
+
+    // Stable-sort each bucket on the pool. Buckets are disjoint; the
+    // per-bucket mutex is uncontended and only satisfies the shared-ref
+    // signature of the parallel map.
+    let buckets: Vec<Mutex<Vec<(Value, Value)>>> = buckets.into_iter().map(Mutex::new).collect();
+    map_slice_with(&buckets, workers, Strategy::Dynamic, exec, |bucket| {
+        bucket
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .sort_by(|a, b| a.0.snap_cmp(&b.0));
+    });
+
+    // K-way merge. Heads from different buckets are never snap_cmp-equal
+    // (equal keys share a bucket), so repeatedly taking the smallest head
+    // — preferring the earliest bucket on the (impossible for
+    // well-behaved keys) tie — reproduces the stable sort.
+    let mut buckets: Vec<Vec<(Value, Value)>> = buckets
+        .into_iter()
+        .map(|bucket| bucket.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect();
+    let total: usize = buckets.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; buckets.len()];
+    let mut sorted = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut best: Option<usize> = None;
+        for (index, bucket) in buckets.iter().enumerate() {
+            if cursors[index] >= bucket.len() {
+                continue;
+            }
+            best = match best {
+                Some(current) => {
+                    let candidate = &bucket[cursors[index]].0;
+                    let leader = &buckets[current][cursors[current]].0;
+                    if candidate.snap_cmp(leader) == std::cmp::Ordering::Less {
+                        Some(index)
+                    } else {
+                        Some(current)
+                    }
+                }
+                None => Some(index),
+            };
+        }
+        let chosen = best.expect("total counts every remaining head");
+        sorted.push(std::mem::take(&mut buckets[chosen][cursors[chosen]]));
+        cursors[chosen] += 1;
+    }
+    group_sorted(sorted)
+}
+
+/// Group a key-sorted pair list into per-key value lists.
+fn group_sorted(pairs: Vec<(Value, Value)>) -> Vec<(Value, Vec<Value>)> {
     let mut groups: Vec<(Value, Vec<Value>)> = Vec::new();
     for (key, value) in pairs {
         match groups.last_mut() {
@@ -18,6 +118,39 @@ pub fn shuffle(mut pairs: Vec<(Value, Value)>) -> Vec<(Value, Vec<Value>)> {
         }
     }
     groups
+}
+
+/// Hash such that `a.snap_cmp(b) == Equal` implies equal hashes: keys
+/// that coerce to a number (numbers, numeric text, booleans — the same
+/// coercion `snap_cmp` uses) hash their normalized numeric value; all
+/// others hash their lowercased display string, mirroring `snap_cmp`'s
+/// textual branch.
+fn canonical_key_hash(key: &Value) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    let numeric = match key {
+        Value::Number(n) => Some(*n),
+        Value::Text(s) => s.trim().parse::<f64>().ok(),
+        Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+        _ => None,
+    };
+    match numeric {
+        Some(n) => {
+            // Normalize so -0.0 == 0.0 and every NaN coincide, matching
+            // comparison semantics.
+            let bits = if n == 0.0 {
+                0u64
+            } else if n.is_nan() {
+                f64::NAN.to_bits()
+            } else {
+                n.to_bits()
+            };
+            (1u8, bits).hash(&mut hasher);
+        }
+        None => {
+            (2u8, key.to_display_string().to_ascii_lowercase()).hash(&mut hasher);
+        }
+    }
+    hasher.finish()
 }
 
 #[cfg(test)]
@@ -42,10 +175,7 @@ mod tests {
 
     #[test]
     fn numeric_keys_sort_numerically() {
-        let pairs = vec![
-            (10.into(), "x".into()),
-            (2.into(), "y".into()),
-        ];
+        let pairs = vec![(10.into(), "x".into()), (2.into(), "y".into())];
         let groups = shuffle(pairs);
         assert_eq!(groups[0].0, Value::Number(2.0));
     }
@@ -53,10 +183,7 @@ mod tests {
     #[test]
     fn keys_group_loosely() {
         // "The" and "the" are the same key under Snap! equality.
-        let pairs = vec![
-            ("The".into(), 1.into()),
-            ("the".into(), 1.into()),
-        ];
+        let pairs = vec![("The".into(), 1.into()), ("the".into(), 1.into())];
         let groups = shuffle(pairs);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].1.len(), 2);
@@ -65,5 +192,49 @@ mod tests {
     #[test]
     fn empty_input_yields_no_groups() {
         assert!(shuffle(Vec::new()).is_empty());
+    }
+
+    /// Deterministic mixed-key workload: numeric text, numbers, and
+    /// case-varied words, with plenty of collisions.
+    fn mixed_pairs(n: usize) -> Vec<(Value, Value)> {
+        let words = ["alpha", "Beta", "beta", "GAMMA", "delta"];
+        (0..n)
+            .map(|i| {
+                let key = match i % 4 {
+                    0 => Value::Number((i % 17) as f64),
+                    1 => Value::text(format!("{}", i % 13)), // numeric text
+                    2 => Value::text(words[i % words.len()]),
+                    _ => Value::text(words[(i * 7) % words.len()].to_uppercase()),
+                };
+                (key, Value::Number(i as f64))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_shuffle_matches_sequential_exactly() {
+        let pairs = mixed_pairs(5000);
+        let seq = shuffle_seq(pairs.clone());
+        for workers in [2, 3, 4, 8] {
+            for exec in [ExecMode::Pooled, ExecMode::SpawnPerCall] {
+                let par = shuffle_parallel(pairs.clone(), workers, exec);
+                assert_eq!(par, seq, "workers={workers} exec={exec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_crosses_threshold_consistently() {
+        let pairs = mixed_pairs(PARALLEL_SHUFFLE_THRESHOLD + 100);
+        assert_eq!(shuffle(pairs.clone()), shuffle_seq(pairs));
+    }
+
+    #[test]
+    fn negative_zero_and_positive_zero_share_a_group() {
+        let mut pairs = mixed_pairs(4096);
+        pairs.push((Value::Number(0.0), Value::text("pos")));
+        pairs.push((Value::Number(-0.0), Value::text("neg")));
+        let par = shuffle_parallel(pairs.clone(), 4, ExecMode::Pooled);
+        assert_eq!(par, shuffle_seq(pairs));
     }
 }

@@ -1,0 +1,71 @@
+//! Steady-state thread accounting for the pooled executor.
+//!
+//! The point of the persistent pool is that repeated `parallelMap`
+//! invocations reuse worker threads instead of spawning fresh ones per
+//! call (the Parallel.js behaviour the seed mirrored). This test drives
+//! 100 consecutive `parallelMap` VM invocations through the worker
+//! backend and asserts the process thread count is constant after the
+//! first call — no per-call thread creation in the steady state.
+//!
+//! It lives in its own integration-test binary so it owns the process:
+//! no other test's pool usage or scoped spawns can perturb the count.
+
+use snap_ast::builder::*;
+use snap_ast::{Project, Script, SpriteDef};
+use snap_vm::Vm;
+
+/// Current thread count of this process, from `/proc/self/status`.
+/// Returns `None` where procfs is unavailable (non-Linux hosts).
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+/// One complete VM run of `say (parallelMap (( ) × 10) over [0..49]
+/// with 4 workers)` using the default (pooled) worker backend.
+fn run_parallel_map_vm() {
+    let script = vec![say(parallel_map_with_workers(
+        ring_reporter(mul(empty_slot(), num(10.0))),
+        number_list((0..50).map(f64::from)),
+        num(4.0),
+    ))];
+    let project = Project::new("steady")
+        .with_sprite(SpriteDef::new("S").with_script(Script::on_green_flag(script)));
+    let mut vm = Vm::new(project);
+    snap_parallel::install(&mut vm);
+    vm.green_flag();
+    vm.run_until_idle();
+    assert_eq!(vm.world.said(), vec!["[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240, 250, 260, 270, 280, 290, 300, 310, 320, 330, 340, 350, 360, 370, 380, 390, 400, 410, 420, 430, 440, 450, 460, 470, 480, 490]"]);
+}
+
+#[test]
+fn thread_count_is_constant_across_repeated_parallel_maps() {
+    let Some(_) = os_thread_count() else {
+        eprintln!("skipping: /proc/self/status not available on this host");
+        return;
+    };
+
+    // First invocation may lazily create the global pool (and grow it to
+    // the requested worker count); that is the only sanctioned spawn.
+    run_parallel_map_vm();
+    let baseline = os_thread_count().unwrap();
+
+    let mut max_seen = baseline;
+    for i in 0..100 {
+        run_parallel_map_vm();
+        let now = os_thread_count().unwrap();
+        max_seen = max_seen.max(now);
+        assert!(
+            now <= baseline,
+            "invocation {i}: thread count grew from {baseline} to {now} — \
+             the pooled executor must not spawn threads in the steady state"
+        );
+    }
+    assert_eq!(
+        max_seen, baseline,
+        "no invocation may exceed the post-warmup thread count"
+    );
+}

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use snap_ast::{EvalError, PureFn, Ring, Value};
+use snap_ast::{compile_cached, EvalError, Ring, Value};
 
 /// Implementation of the truly parallel blocks.
 pub trait ParallelBackend: Send + Sync {
@@ -55,7 +55,9 @@ impl ParallelBackend for SequentialBackend {
         items: Vec<Value>,
         _workers: usize,
     ) -> Result<Vec<Value>, EvalError> {
-        let f = PureFn::compile(ring)?;
+        // Memoized on ring identity: a parallelMap block inside a loop
+        // re-verifies purity only on its first evaluation.
+        let f = compile_cached(&ring)?;
         items.into_iter().map(|item| f.call1(item)).collect()
     }
 
@@ -66,15 +68,13 @@ impl ParallelBackend for SequentialBackend {
         items: Vec<Value>,
         _workers: usize,
     ) -> Result<Vec<Value>, EvalError> {
-        let map_fn = PureFn::compile(mapper)?;
-        let reduce_fn = PureFn::compile(reducer)?;
+        let map_fn = compile_cached(&mapper)?;
+        let reduce_fn = compile_cached(&reducer)?;
         let pairs = items
             .into_iter()
             .map(|item| map_fn.call1(item))
             .collect::<Result<Vec<_>, _>>()?;
-        reduce_groups(pairs, |values| {
-            reduce_fn.call1(Value::list(values))
-        })
+        reduce_groups(pairs, |values| reduce_fn.call1(Value::list(values)))
     }
 
     fn name(&self) -> &'static str {
@@ -131,11 +131,7 @@ mod tests {
         let backend = SequentialBackend;
         let ring = Arc::new(Ring::reporter(mul(empty_slot(), num(10.0))));
         let out = backend
-            .parallel_map(
-                ring,
-                vec![3.into(), 7.into(), 8.into()],
-                4,
-            )
+            .parallel_map(ring, vec![3.into(), 7.into(), 8.into()], 4)
             .unwrap();
         assert_eq!(out, vec![30.into(), 70.into(), 80.into()]);
     }
@@ -178,10 +174,7 @@ mod tests {
         ));
         let reducer = Arc::new(Ring::reporter_with_params(
             vec!["vals".into()],
-            combine_using(
-                var("vals"),
-                ring_reporter(add(empty_slot(), empty_slot())),
-            ),
+            combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
         ));
         let words: Vec<Value> = ["the", "cat", "the"].iter().map(|&w| w.into()).collect();
         let out = backend.map_reduce(mapper, reducer, words, 4).unwrap();

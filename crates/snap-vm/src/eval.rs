@@ -115,14 +115,13 @@ impl<'a> EvalCtx<'a> {
             Expr::Item(index, list) => {
                 let i = self.eval(index)?.to_number() as usize;
                 let list = self.eval_list(list)?;
-                list.item(i)
-                    .ok_or_else(|| {
-                        EvalError::IndexOutOfRange {
-                            index: i,
-                            len: list.len(),
-                        }
-                        .into()
-                    })
+                list.item(i).ok_or_else(|| {
+                    EvalError::IndexOutOfRange {
+                        index: i,
+                        len: list.len(),
+                    }
+                    .into()
+                })
             }
             Expr::LengthOf(list) => Ok(Value::Number(self.eval_list(list)?.len() as f64)),
             Expr::Contains(list, value) => {
@@ -441,11 +440,7 @@ impl<'a> EvalCtx<'a> {
     }
 
     /// Call a custom reporter/predicate block synchronously.
-    pub fn call_custom_reporter(
-        &mut self,
-        name: &str,
-        args: Vec<Value>,
-    ) -> Result<Value, VmError> {
+    pub fn call_custom_reporter(&mut self, name: &str, args: Vec<Value>) -> Result<Value, VmError> {
         if self.depth >= MAX_DEPTH {
             return Err(VmError::TooMuchRecursion);
         }
@@ -463,8 +458,7 @@ impl<'a> EvalCtx<'a> {
             }
             .into());
         }
-        let frame: Vec<(String, Value)> =
-            block.params.iter().cloned().zip(args).collect();
+        let frame: Vec<(String, Value)> = block.params.iter().cloned().zip(args).collect();
         self.scopes.push(frame);
         self.depth += 1;
         let result = self.run_sync(&block.body);
@@ -814,8 +808,8 @@ mod tests {
         let (mut world, mut scopes) = ctx_fixture();
         world.seed_rng(42);
         for _ in 0..100 {
-            let v = eval_on_cat(&mut world, &mut scopes, &pick_random(num(1.0), num(6.0)))
-                .to_number();
+            let v =
+                eval_on_cat(&mut world, &mut scopes, &pick_random(num(1.0), num(6.0))).to_number();
             assert!((1.0..=6.0).contains(&v));
             assert_eq!(v.fract(), 0.0);
         }

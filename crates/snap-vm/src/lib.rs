@@ -129,10 +129,7 @@ mod tests {
     fn repeat_with_wait_absorbs_loop_bottom() {
         // repeat 3 { wait 1 } finishes as the timer shows 3: the wait
         // absorbs the loop-bottom yield (see module docs).
-        let vm = run_script(vec![
-            repeat(num(3.0), vec![wait(num(1.0))]),
-            say(timer()),
-        ]);
+        let vm = run_script(vec![repeat(num(3.0), vec![wait(num(1.0))]), say(timer())]);
         assert_eq!(vm.world.said(), vec!["3"]);
     }
 
@@ -178,10 +175,9 @@ mod tests {
 
     #[test]
     fn key_press_scripts_run() {
-        let project = Project::new("t").with_sprite(
-            SpriteDef::new("Dragon")
-                .with_script(Script::on_key("right arrow", vec![Stmt::TurnRight(num(15.0))])),
-        );
+        let project = Project::new("t").with_sprite(SpriteDef::new("Dragon").with_script(
+            Script::on_key("right arrow", vec![Stmt::TurnRight(num(15.0))]),
+        ));
         let mut vm = Vm::new(project);
         vm.key_press("right arrow");
         vm.run_until_idle();
@@ -194,12 +190,10 @@ mod tests {
     #[test]
     fn broadcast_activates_receivers() {
         let project = Project::new("t")
-            .with_sprite(
-                SpriteDef::new("A").with_script(Script::on_green_flag(vec![
-                    broadcast("go"),
-                    say(text("sent")),
-                ])),
-            )
+            .with_sprite(SpriteDef::new("A").with_script(Script::on_green_flag(vec![
+                broadcast("go"),
+                say(text("sent")),
+            ])))
             .with_sprite(
                 SpriteDef::new("B")
                     .with_script(Script::on_message("go", vec![say(text("got it"))])),
@@ -268,7 +262,9 @@ mod tests {
                     wait(num(2.0)),
                     Stmt::Stop(StopKind::All),
                 ]))
-                .with_script(Script::on_green_flag(vec![forever(vec![say(text("tick"))])])),
+                .with_script(Script::on_green_flag(vec![forever(vec![say(text(
+                    "tick",
+                ))])])),
         );
         let mut vm = Vm::new(project);
         vm.green_flag();
@@ -312,10 +308,7 @@ mod tests {
     #[test]
     fn run_ring_is_synchronous_launch_is_not() {
         let vm = run_script(vec![
-            Stmt::RunRing(
-                ring_command(vec![say(text("ran"))]),
-                vec![],
-            ),
+            Stmt::RunRing(ring_command(vec![say(text("ran"))]), vec![]),
             say(text("after-run")),
             Stmt::LaunchRing(
                 ring_command(vec![wait(num(1.0)), say(text("launched"))]),
@@ -412,11 +405,13 @@ mod tests {
                 "cups",
                 Constant::List(vec!["Cup1".into(), "Cup2".into(), "Cup3".into()]),
             )
-            .with_sprite(SpriteDef::new("Pitcher").with_script(Script::on_green_flag(vec![
-                Stmt::ResetTimer,
-                body,
-                say(join(vec![text("total "), timer()])),
-            ])))
+            .with_sprite(
+                SpriteDef::new("Pitcher").with_script(Script::on_green_flag(vec![
+                    Stmt::ResetTimer,
+                    body,
+                    say(join(vec![text("total "), timer()])),
+                ])),
+            )
     }
 
     #[test]
@@ -534,7 +529,10 @@ mod tests {
         let mut vm = Vm::with_config(
             project,
             VmConfig {
-                interference: Some(Interference { period: 2, phase: 1 }),
+                interference: Some(Interference {
+                    period: 2,
+                    phase: 1,
+                }),
                 ..VmConfig::default()
             },
         );
@@ -558,9 +556,7 @@ mod tests {
     fn eval_expr_entry_point() {
         let project = Project::new("t").with_sprite(SpriteDef::new("S"));
         let mut vm = Vm::new(project);
-        let v = vm
-            .eval_expr(Some("S"), &add(num(2.0), num(3.0)))
-            .unwrap();
+        let v = vm.eval_expr(Some("S"), &add(num(2.0), num(3.0))).unwrap();
         assert_eq!(v, Value::Number(5.0));
         assert!(vm.eval_expr(Some("Nope"), &num(1.0)).is_err());
     }

@@ -197,7 +197,10 @@ impl Process {
         Process {
             pid,
             sprite,
-            tasks: vec![Task::Seq { stmts: body, idx: 0 }],
+            tasks: vec![Task::Seq {
+                stmts: body,
+                idx: 0,
+            }],
             scopes: ScopeStack::new(),
             sleep_until: 0,
             warp_depth: 0,
@@ -216,7 +219,10 @@ impl Process {
         Process {
             pid,
             sprite,
-            tasks: vec![Task::Seq { stmts: body, idx: 0 }],
+            tasks: vec![Task::Seq {
+                stmts: body,
+                idx: 0,
+            }],
             scopes,
             sleep_until: 0,
             warp_depth: 0,

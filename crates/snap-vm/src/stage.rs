@@ -151,7 +151,9 @@ mod tests {
     #[test]
     fn watchers_show_current_values() {
         let mut world = world_with(&[("Cat", 0.0, 0.0)]);
-        world.globals.insert("score".into(), snap_ast::Value::Number(7.0));
+        world
+            .globals
+            .insert("score".into(), snap_ast::Value::Number(7.0));
         world.watch("score");
         world.watch("missing");
         world.watch("score"); // duplicates collapse

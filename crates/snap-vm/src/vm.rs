@@ -207,9 +207,9 @@ impl Vm {
     }
 
     fn spawn_message_hats(&mut self, message: &str) -> Vec<Pid> {
-        self.spawn_hats(|hat| {
-            matches!(hat, HatBlock::MessageReceived(m) if m.eq_ignore_ascii_case(message))
-        })
+        self.spawn_hats(
+            |hat| matches!(hat, HatBlock::MessageReceived(m) if m.eq_ignore_ascii_case(message)),
+        )
     }
 
     fn spawn_clone_start_hats(&mut self, clone: SpriteId) -> Vec<Pid> {
@@ -480,7 +480,11 @@ impl Vm {
                     end,
                     step,
                 } => {
-                    let more = if *step > 0.0 { *next <= *end } else { *next >= *end };
+                    let more = if *step > 0.0 {
+                        *next <= *end
+                    } else {
+                        *next >= *end
+                    };
                     if more {
                         let v = *next;
                         *next += *step;
@@ -568,8 +572,7 @@ impl Vm {
             }
             Stmt::ChangeVar(name, e) => {
                 let delta = self.eval_in(p, e)?.to_number();
-                let mut ctx =
-                    EvalCtx::new(&mut self.world, p.sprite, &mut p.scopes, self.timestep);
+                let mut ctx = EvalCtx::new(&mut self.world, p.sprite, &mut p.scopes, self.timestep);
                 let current = ctx.lookup(name).map(|v| v.to_number()).unwrap_or(0.0);
                 ctx.assign(name, Value::Number(current + delta));
                 Ok(Flow::Continue)
@@ -633,11 +636,7 @@ impl Vm {
                 Ok(Flow::Continue)
             }
             Stmt::RepeatUntil(cond, body) => {
-                self.push_loop(
-                    p,
-                    LoopKind::Until { cond: cond.clone() },
-                    body,
-                );
+                self.push_loop(p, LoopKind::Until { cond: cond.clone() }, body);
                 Ok(Flow::Continue)
             }
             Stmt::For {
@@ -750,12 +749,8 @@ impl Vm {
                     }
                     _ => {
                         // Running a reporter ring evaluates and discards.
-                        let mut ctx = EvalCtx::new(
-                            &mut self.world,
-                            p.sprite,
-                            &mut p.scopes,
-                            self.timestep,
-                        );
+                        let mut ctx =
+                            EvalCtx::new(&mut self.world, p.sprite, &mut p.scopes, self.timestep);
                         ctx.apply_ring(&ring, &values)?;
                         Ok(Flow::Continue)
                     }
@@ -814,12 +809,8 @@ impl Vm {
                         Ok(Flow::Continue)
                     }
                     _ => {
-                        let mut ctx = EvalCtx::new(
-                            &mut self.world,
-                            p.sprite,
-                            &mut p.scopes,
-                            self.timestep,
-                        );
+                        let mut ctx =
+                            EvalCtx::new(&mut self.world, p.sprite, &mut p.scopes, self.timestep);
                         ctx.call_custom_reporter(name, values)?;
                         Ok(Flow::Continue)
                     }
@@ -940,9 +931,8 @@ impl Vm {
         ring_expr: &Expr,
         args: &[Expr],
     ) -> Result<(Arc<Ring>, Vec<Value>), VmError> {
-        let ring =
-            EvalCtx::new(&mut self.world, p.sprite, &mut p.scopes, self.timestep)
-                .eval_ring(ring_expr)?;
+        let ring = EvalCtx::new(&mut self.world, p.sprite, &mut p.scopes, self.timestep)
+            .eval_ring(ring_expr)?;
         let mut values = Vec::with_capacity(args.len());
         for arg in args {
             values.push(self.eval_in(p, arg)?);

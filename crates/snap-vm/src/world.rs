@@ -193,9 +193,7 @@ impl World {
         if let Some(v) = self.globals.get(name) {
             return Some(v.clone());
         }
-        self.sprites
-            .iter()
-            .find_map(|s| s.vars.get(name).cloned())
+        self.sprites.iter().find_map(|s| s.vars.get(name).cloned())
     }
 
     /// Install a parallel backend (done by `snap-parallel`).
@@ -266,16 +264,15 @@ impl World {
 
     /// Number of live clones (excluding originals).
     pub fn live_clone_count(&self) -> usize {
-        self.sprites.iter().filter(|s| s.alive && s.is_clone).count()
+        self.sprites
+            .iter()
+            .filter(|s| s.alive && s.is_clone)
+            .count()
     }
 
     /// Find a custom block definition visible to `sprite`: sprite-local
     /// blocks shadow global ones.
-    pub fn find_custom_block(
-        &self,
-        sprite: SpriteId,
-        name: &str,
-    ) -> Option<snap_ast::CustomBlock> {
+    pub fn find_custom_block(&self, sprite: SpriteId, name: &str) -> Option<snap_ast::CustomBlock> {
         if let Some(def) = &self.sprites[sprite].def {
             if let Some(b) = def.custom_blocks.iter().find(|b| b.name == name) {
                 return Some(b.clone());

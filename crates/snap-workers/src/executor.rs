@@ -1,0 +1,287 @@
+//! The pooled execution engine behind every parallel primitive.
+//!
+//! The paper's Parallel.js model spawns fresh Web Workers per call; the
+//! seed mirrored that with one `std::thread::scope` per map. This module
+//! is the persistent alternative: a process-wide [`WorkerPool`] is
+//! created lazily on first use and every later `parallel map` reuses its
+//! threads. Spawn-per-call survives as [`ExecMode::SpawnPerCall`] so the
+//! `ablate_sched` / `pool_reuse` benches can quantify the spawn tax.
+//!
+//! Two more scheduler changes over the seed live here:
+//!
+//! * **Chunked dynamic claiming** — workers grab blocks of
+//!   `max(1, len / (workers * 4))` indices per atomic `fetch_add` instead
+//!   of one, cutting contention on the claim counter by the chunk factor
+//!   while still leaving enough blocks (≈4 per worker) for load balance.
+//! * **Disjoint gather** — each claimed index is written straight into
+//!   its own result slot. Index ownership is exclusive by construction
+//!   (chunks partition the range), so no mutex guards the output.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::parallel::{default_workers, Strategy};
+use crate::pool::{on_pool_thread, WaitGroup, WorkerPool};
+
+/// How a parallel call obtains its worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Run on the shared, lazily created process-wide pool. Steady-state
+    /// parallel calls create no threads.
+    #[default]
+    Pooled,
+    /// Spawn scoped threads for this one call and join them before
+    /// returning — the paper-faithful Parallel.js behaviour, kept for
+    /// ablation.
+    SpawnPerCall,
+}
+
+static GLOBAL_POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// The process-wide pool, created on first use with
+/// [`default_workers`] threads.
+pub fn global_pool() -> &'static WorkerPool {
+    GLOBAL_POOL.get_or_init(|| WorkerPool::new(default_workers()))
+}
+
+/// Dynamic-scheduling block size: ~4 blocks per worker, never zero.
+pub fn chunk_size(len: usize, workers: usize) -> usize {
+    (len / (workers.max(1) * 4)).max(1)
+}
+
+/// Run `body(0..tasks)` concurrently and return once all calls finish.
+///
+/// `body` may borrow from the caller's stack: in pooled mode its
+/// lifetime is erased for submission, which is sound because this
+/// function never returns before every submitted job has completed
+/// (completion tokens are dropped even when a job panics). A panic in
+/// any `body` call is re-raised on the caller's thread after all tasks
+/// finish, matching scoped-thread join semantics.
+pub fn run_tasks(tasks: usize, mode: ExecMode, body: &(dyn Fn(usize) + Sync)) {
+    if tasks == 0 {
+        return;
+    }
+    if tasks == 1 {
+        body(0);
+        return;
+    }
+    match mode {
+        ExecMode::SpawnPerCall => {
+            std::thread::scope(|scope| {
+                for w in 0..tasks {
+                    scope.spawn(move || body(w));
+                }
+            });
+        }
+        ExecMode::Pooled => {
+            if on_pool_thread() {
+                // Re-entrant parallel call from inside a pooled job:
+                // submitting and blocking could deadlock on our own
+                // queue, so run inline.
+                for w in 0..tasks {
+                    body(w);
+                }
+                return;
+            }
+            let pool = global_pool();
+            // Honour explicit oversubscription (latency-bound maps ask
+            // for more workers than cores); growth is permanent, so the
+            // steady state still spawns nothing.
+            pool.ensure_workers(tasks);
+            run_scoped_on_pool(pool, tasks, body);
+        }
+    }
+}
+
+fn run_scoped_on_pool(pool: &WorkerPool, tasks: usize, body: &(dyn Fn(usize) + Sync)) {
+    // SAFETY: the 'static lifetime is a lie told only to the job queue.
+    // Every submitted job holds a WaitGroup token dropped when the job
+    // finishes (including by panic, via catch_unwind), and we block on
+    // `wg.wait()` before returning, so no job can observe `body` after
+    // this frame is gone.
+    let body_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
+    let wg = WaitGroup::new();
+    let panicked = Arc::new(AtomicBool::new(false));
+    let mut refused = Vec::new();
+    for w in 0..tasks {
+        let token = wg.token();
+        let panicked = panicked.clone();
+        let submitted = pool.execute(move || {
+            let _token = token;
+            if catch_unwind(AssertUnwindSafe(|| body_static(w))).is_err() {
+                panicked.store(true, Ordering::SeqCst);
+            }
+        });
+        if submitted.is_err() {
+            // The refused closure (and its token) was dropped by the
+            // failed send; remember the index and run it inline below.
+            refused.push(w);
+        }
+    }
+    for w in refused {
+        body(w);
+    }
+    wg.wait();
+    if panicked.load(Ordering::SeqCst) {
+        resume_unwind(Box::new("a pooled parallel task panicked"));
+    }
+}
+
+/// Pointer to the result slots, shareable across worker tasks.
+///
+/// Soundness rests on the scheduler: every index in `0..len` is claimed
+/// by exactly one task (dynamic chunks come from a shared `fetch_add`;
+/// static blocks partition the range), so writes are disjoint and the
+/// caller does not read until all tasks have finished.
+struct SlotWriter<R> {
+    slots: *mut Option<R>,
+    len: usize,
+}
+
+unsafe impl<R: Send> Send for SlotWriter<R> {}
+unsafe impl<R: Send> Sync for SlotWriter<R> {}
+
+impl<R> SlotWriter<R> {
+    fn new(out: &mut [Option<R>]) -> SlotWriter<R> {
+        SlotWriter {
+            slots: out.as_mut_ptr(),
+            len: out.len(),
+        }
+    }
+
+    /// Write the result for `index`.
+    ///
+    /// # Safety
+    /// `index` must be in range and claimed by exactly one task.
+    unsafe fn write(&self, index: usize, value: R) {
+        debug_assert!(index < self.len);
+        *self.slots.add(index) = Some(value);
+    }
+}
+
+/// Parallel map over a borrowed slice with an explicit execution mode.
+/// Results come back in input order.
+pub fn map_slice_with<T: Send + Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    strategy: Strategy,
+    mode: ExecMode,
+    f: impl Fn(&T) -> R + Send + Sync,
+) -> Vec<R> {
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let len = items.len();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    let slots = SlotWriter::new(&mut out);
+    let next = AtomicUsize::new(0);
+    let chunk = chunk_size(len, workers);
+
+    let worker_body = |w: usize| match strategy {
+        Strategy::Dynamic => loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= len {
+                break;
+            }
+            let end = (start + chunk).min(len);
+            for (i, item) in items[start..end].iter().enumerate() {
+                // SAFETY: fetch_add hands each block to one task.
+                unsafe { slots.write(start + i, f(item)) };
+            }
+        },
+        Strategy::Static => {
+            let block = len.div_ceil(workers);
+            let start = (w * block).min(len);
+            let end = ((w + 1) * block).min(len);
+            for (i, item) in items[start..end].iter().enumerate() {
+                // SAFETY: static blocks are disjoint per task index.
+                unsafe { slots.write(start + i, f(item)) };
+            }
+        }
+    };
+    run_tasks(workers, mode, &worker_body);
+
+    out.into_iter()
+        .map(|slot| slot.expect("every index processed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_size_leaves_four_blocks_per_worker() {
+        assert_eq!(chunk_size(1000, 5), 50);
+        assert_eq!(chunk_size(3, 8), 1);
+        assert_eq!(chunk_size(0, 4), 1);
+    }
+
+    #[test]
+    fn pooled_matches_spawn_per_call() {
+        let items: Vec<i64> = (0..503).collect();
+        for strategy in [Strategy::Dynamic, Strategy::Static] {
+            let pooled = map_slice_with(&items, 4, strategy, ExecMode::Pooled, |&n| n * 7);
+            let spawned = map_slice_with(&items, 4, strategy, ExecMode::SpawnPerCall, |&n| n * 7);
+            assert_eq!(pooled, spawned);
+            assert_eq!(pooled, items.iter().map(|n| n * 7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pooled_map_borrows_stack_data() {
+        let base = [10i64, 20, 30];
+        let items: Vec<usize> = (0..base.len()).collect();
+        let out = map_slice_with(&items, 2, Strategy::Dynamic, ExecMode::Pooled, |&i| {
+            base[i] + 1
+        });
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn reentrant_pooled_map_does_not_deadlock() {
+        let outer: Vec<i64> = (0..8).collect();
+        let out = map_slice_with(&outer, 4, Strategy::Dynamic, ExecMode::Pooled, |&n| {
+            let inner: Vec<i64> = (0..50).collect();
+            map_slice_with(&inner, 4, Strategy::Dynamic, ExecMode::Pooled, |&m| m + n)
+                .into_iter()
+                .sum::<i64>()
+        });
+        let expected: Vec<i64> = (0..8).map(|n| (0..50).map(|m| m + n).sum()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn panic_in_pooled_task_propagates_and_pool_survives() {
+        let items: Vec<i64> = (0..64).collect();
+        let result = catch_unwind(|| {
+            map_slice_with(&items, 4, Strategy::Dynamic, ExecMode::Pooled, |&n| {
+                if n == 13 {
+                    panic!("boom");
+                }
+                n
+            })
+        });
+        assert!(result.is_err(), "panic must reach the caller");
+        // The pool is still healthy afterwards.
+        let ok = map_slice_with(&items, 4, Strategy::Dynamic, ExecMode::Pooled, |&n| n + 1);
+        assert_eq!(ok, items.iter().map(|n| n + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn global_pool_is_created_once() {
+        let first = global_pool() as *const WorkerPool;
+        let _ = map_slice_with(
+            &(0..100).collect::<Vec<i64>>(),
+            4,
+            Strategy::Dynamic,
+            ExecMode::Pooled,
+            |&n| n,
+        );
+        let second = global_pool() as *const WorkerPool;
+        assert_eq!(first, second);
+    }
+}

@@ -5,9 +5,12 @@
 //! OS threads:
 //!
 //! * [`Parallel`] — the Parallel.js-shaped builder API (Listing 1):
-//!   workers spawned per call, results in input order.
-//! * [`WorkerPool`] — a persistent pool (our extension; the
-//!   `ablate_sched` bench compares it against per-call spawning).
+//!   results in input order, running on the shared pool by default.
+//! * [`WorkerPool`] / [`executor`] — the persistent pooled execution
+//!   engine (our extension): one lazily created process-wide pool,
+//!   chunked dynamic scheduling, and an [`ExecMode`] switch so the
+//!   `ablate_sched`/`pool_reuse` benches can compare against the
+//!   paper-faithful spawn-per-call behaviour.
 //! * [`ring_map`] / [`ring_map_pairs`] / [`ring_reduce_groups`] — apply
 //!   compiled Snap! rings on workers with structured-clone isolation,
 //!   the analogue of Listing 2's `mappedCode()` → `new Function` →
@@ -20,10 +23,12 @@
 
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod parallel;
 pub mod pool;
 pub mod ring_fn;
 
+pub use executor::{global_pool, map_slice_with, ExecMode};
 pub use parallel::{default_workers, map_slice, Parallel, Strategy};
-pub use pool::WorkerPool;
+pub use pool::{PoolClosed, WorkerPool};
 pub use ring_fn::{ring_map, ring_map_pairs, ring_reduce_groups, Isolation, RingMapOptions};

@@ -18,12 +18,13 @@
 //! assert_eq!(data, vec![2, 4, 6, 8]);
 //! ```
 //!
-//! Like Parallel.js, each call spawns its workers afresh (scoped
-//! threads); the persistent [`crate::WorkerPool`] is the pooled
-//! alternative. Results always come back in input order.
+//! Unlike Parallel.js — which spawns its Web Workers afresh per call —
+//! execution runs on the shared process-wide pool by default
+//! ([`ExecMode::Pooled`]); the paper-faithful spawn-per-call behaviour
+//! stays available through [`ExecMode::SpawnPerCall`]. Results always
+//! come back in input order.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::executor::{map_slice_with, ExecMode};
 
 /// How items are handed to workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +46,7 @@ pub struct Parallel<T> {
     data: Vec<T>,
     max_workers: usize,
     strategy: Strategy,
+    exec: ExecMode,
 }
 
 /// The default worker count: hardware concurrency if known, else 4 —
@@ -62,6 +64,7 @@ impl<T: Send + Sync> Parallel<T> {
             data,
             max_workers: default_workers(),
             strategy: Strategy::Dynamic,
+            exec: ExecMode::Pooled,
         }
     }
 
@@ -77,14 +80,21 @@ impl<T: Send + Sync> Parallel<T> {
         self
     }
 
+    /// Select pooled or spawn-per-call execution.
+    pub fn with_exec_mode(mut self, exec: ExecMode) -> Parallel<T> {
+        self.exec = exec;
+        self
+    }
+
     /// Apply `f` to every item in parallel; results in input order.
     pub fn map<R: Send>(self, f: impl Fn(&T) -> R + Send + Sync) -> Vec<R> {
         let Parallel {
             data,
             max_workers,
             strategy,
+            exec,
         } = self;
-        map_slice(&data, max_workers, strategy, f)
+        map_slice_with(&data, max_workers, strategy, exec, f)
     }
 
     /// Run `f` on every item in parallel, for its effects.
@@ -105,65 +115,21 @@ impl<T: Send + Sync> Parallel<T> {
     }
 }
 
-/// Parallel map over a borrowed slice (no move of the input).
+/// Parallel map over a borrowed slice (no move of the input), using the
+/// default execution mode. See [`map_slice_with`] to pick the mode.
 pub fn map_slice<T: Send + Sync, R: Send>(
     items: &[T],
     workers: usize,
     strategy: Strategy,
     f: impl Fn(&T) -> R + Send + Sync,
 ) -> Vec<R> {
-    let workers = workers.max(1).min(items.len().max(1));
-    if workers <= 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    let gathered = Mutex::new(&mut out);
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        let f = &f;
-        let next = &next;
-        let gathered = &gathered;
-        for w in 0..workers {
-            scope.spawn(move || {
-                // Each worker computes into a private buffer and posts the
-                // batch back once — one "message" per worker, like the
-                // single result message a Web Worker posts.
-                let mut local: Vec<(usize, R)> = Vec::new();
-                match strategy {
-                    Strategy::Dynamic => loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        local.push((i, f(&items[i])));
-                    },
-                    Strategy::Static => {
-                        let chunk = items.len().div_ceil(workers);
-                        let start = (w * chunk).min(items.len());
-                        let end = ((w + 1) * chunk).min(items.len());
-                        for (offset, item) in items[start..end].iter().enumerate() {
-                            local.push((start + offset, f(item)));
-                        }
-                    }
-                }
-                let mut out = gathered.lock().expect("result mutex poisoned");
-                for (i, r) in local {
-                    out[i] = Some(r);
-                }
-            });
-        }
-    });
-
-    out.into_iter()
-        .map(|slot| slot.expect("every index processed exactly once"))
-        .collect()
+    map_slice_with(items, workers, strategy, ExecMode::default(), f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn listing1_example() {
@@ -203,7 +169,9 @@ mod tests {
 
     #[test]
     fn more_workers_than_items_is_clamped() {
-        let out = Parallel::new(vec![1, 2]).with_max_workers(64).map(|n| n * 10);
+        let out = Parallel::new(vec![1, 2])
+            .with_max_workers(64)
+            .map(|n| n * 10);
         assert_eq!(out, vec![10, 20]);
     }
 

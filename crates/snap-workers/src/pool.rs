@@ -3,78 +3,147 @@
 //! Parallel.js creates its Web Workers anew for every `Parallel` object
 //! (paper Listing 1/2). That is faithful but wasteful; this pool is the
 //! long-lived alternative the parallel backend uses, and the
-//! `ablate_sched`/`ablate_copy` benches compare the two. Workers are OS
-//! threads fed from a crossbeam channel — the share-nothing,
-//! message-passing shape of HTML5 Web Workers.
+//! `ablate_sched`/`pool_reuse` benches compare the two. Workers are OS
+//! threads fed from an mpsc channel — the share-nothing, message-passing
+//! shape of HTML5 Web Workers.
+//!
+//! Workers survive panicking jobs: each job runs under `catch_unwind`, so
+//! a single bad ring does not shrink the pool. Submission is fallible
+//! ([`WorkerPool::execute`] returns [`PoolClosed`] once the channel is
+//! gone) instead of panicking, and [`WorkerPool::scatter_gather`] falls
+//! back to running refused jobs on the caller's thread.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{unbounded, Sender};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-struct Shared {
-    /// Jobs executed per worker (for tests and load-balance diagnostics).
-    executed: Vec<AtomicU64>,
+/// Hard ceiling on pool growth ([`WorkerPool::ensure_workers`]); far
+/// above any sensible worker request, it only guards against runaway
+/// `workers` expressions.
+pub const MAX_POOL_WORKERS: usize = 64;
+
+/// Error returned when a job is submitted after the pool started shutting
+/// down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("worker pool is closed")
+    }
 }
 
-/// A fixed-size pool of worker threads.
+impl std::error::Error for PoolClosed {}
+
+thread_local! {
+    /// Set for the lifetime of every pool worker thread; lets the
+    /// executor detect re-entrant parallel calls (a pooled job that
+    /// itself asks for parallel execution) and run them inline instead
+    /// of deadlocking on its own queue.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// `true` when the calling thread is a pool worker.
+pub fn on_pool_thread() -> bool {
+    IS_POOL_WORKER.with(|flag| flag.get())
+}
+
+/// A pool of worker threads. Starts at a fixed size and grows (up to
+/// [`MAX_POOL_WORKERS`]) when a caller asks for more concurrency than
+/// the pool currently has — necessary for latency-bound workloads that
+/// legitimately oversubscribe the CPUs, exactly as a browser happily
+/// runs more Web Workers than cores. Threads, once spawned, persist
+/// until the pool drops, so steady-state parallel calls create none.
 pub struct WorkerPool {
     tx: Option<Sender<Job>>,
-    handles: Vec<JoinHandle<()>>,
-    shared: Arc<Shared>,
+    /// Kept so growth can hand the shared queue to new workers.
+    rx: Arc<Mutex<Receiver<Job>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Per-worker executed-job counters, index-aligned with `handles`.
+    executed: Mutex<Vec<Arc<AtomicU64>>>,
 }
 
 impl WorkerPool {
     /// Spawn `workers` threads (at least one).
     pub fn new(workers: usize) -> WorkerPool {
-        let workers = workers.max(1);
-        let (tx, rx) = unbounded::<Job>();
-        let shared = Arc::new(Shared {
-            executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
-        });
-        let handles = (0..workers)
-            .map(|id| {
-                let rx = rx.clone();
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("snap-worker-{id}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                            shared.executed[id].fetch_add(1, Ordering::Relaxed);
-                        }
-                    })
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
-        WorkerPool {
+        let (tx, rx) = channel::<Job>();
+        // std's Receiver is single-consumer; the workers share it behind
+        // a mutex, locking only long enough to dequeue one job.
+        let pool = WorkerPool {
             tx: Some(tx),
-            handles,
-            shared,
+            rx: Arc::new(Mutex::new(rx)),
+            handles: Mutex::new(Vec::new()),
+            executed: Mutex::new(Vec::new()),
+        };
+        pool.ensure_workers(workers.max(1));
+        pool
+    }
+
+    /// Grow the pool to at least `target` workers (clamped to
+    /// [`MAX_POOL_WORKERS`]). Never shrinks.
+    pub fn ensure_workers(&self, target: usize) {
+        let target = target.clamp(1, MAX_POOL_WORKERS);
+        let mut handles = self.handles.lock().unwrap_or_else(PoisonError::into_inner);
+        while handles.len() < target {
+            let id = handles.len();
+            let counter = Arc::new(AtomicU64::new(0));
+            self.executed
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(counter.clone());
+            let rx = self.rx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("snap-worker-{id}"))
+                .spawn(move || {
+                    IS_POOL_WORKER.with(|flag| flag.set(true));
+                    loop {
+                        let job = {
+                            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                            match guard.recv() {
+                                Ok(job) => job,
+                                Err(_) => break, // channel closed: shut down
+                            }
+                        };
+                        // A panicking job must not kill the worker; the
+                        // panic is surfaced to the submitter through
+                        // whatever completion handle the job carries.
+                        let _ = catch_unwind(AssertUnwindSafe(job));
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
-        self.handles.len()
+        self.handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
-    /// Submit a job; it runs on some worker eventually.
-    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        self.tx
-            .as_ref()
-            .expect("pool is shutting down")
-            .send(Box::new(job))
-            .expect("worker channel closed");
+    /// Submit a job; it runs on some worker eventually. Fails with
+    /// [`PoolClosed`] when the pool is shutting down (the job is returned
+    /// to the heap and dropped, never silently run).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolClosed> {
+        match self.tx.as_ref() {
+            Some(tx) => tx.send(Box::new(job)).map_err(|_| PoolClosed),
+            None => Err(PoolClosed),
+        }
     }
 
     /// Jobs executed so far, per worker.
     pub fn executed_per_worker(&self) -> Vec<u64> {
-        self.shared
-            .executed
+        self.executed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
@@ -82,17 +151,30 @@ impl WorkerPool {
 
     /// Run `n` independent jobs `job(i)` and block until all complete.
     /// State shared with the jobs goes through `Arc`, mirroring how Web
-    /// Worker code shares nothing but what is explicitly sent.
+    /// Worker code shares nothing but what is explicitly sent. Jobs the
+    /// pool refuses (shutdown race) run on the caller's thread so every
+    /// index is still processed exactly once.
     pub fn scatter_gather(&self, n: usize, job: impl Fn(usize) + Send + Sync + 'static) {
         let job = Arc::new(job);
-        let wg = crossbeam::sync::WaitGroup::new();
+        let wg = WaitGroup::new();
+        let mut refused = Vec::new();
         for i in 0..n {
-            let wg = wg.clone();
+            let token = wg.token();
             let job = job.clone();
-            self.execute(move || {
-                job(i);
-                drop(wg);
-            });
+            if self
+                .execute(move || {
+                    job(i);
+                    drop(token);
+                })
+                .is_err()
+            {
+                // The closure (with its token) was dropped by the failed
+                // send; run the index inline.
+                refused.push(i);
+            }
+        }
+        for i in refused {
+            job(i);
         }
         wg.wait();
     }
@@ -101,8 +183,80 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.tx.take(); // close the channel: workers drain and exit
-        for handle in self.handles.drain(..) {
+        let mut handles = self.handles.lock().unwrap_or_else(PoisonError::into_inner);
+        for handle in handles.drain(..) {
             let _ = handle.join();
+        }
+    }
+}
+
+struct WaitGroupState {
+    outstanding: Mutex<usize>,
+    done: Condvar,
+}
+
+/// Counts outstanding jobs: each [`WaitGroup::token`] increments, each
+/// token drop decrements (drop runs even when the job unwinds, so a
+/// panicking job can never wedge the waiter).
+pub(crate) struct WaitGroup {
+    state: Arc<WaitGroupState>,
+}
+
+/// One outstanding-job marker; dropping it signals completion.
+pub(crate) struct WaitToken {
+    state: Arc<WaitGroupState>,
+}
+
+impl WaitGroup {
+    pub(crate) fn new() -> WaitGroup {
+        WaitGroup {
+            state: Arc::new(WaitGroupState {
+                outstanding: Mutex::new(0),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Register one more outstanding job.
+    pub(crate) fn token(&self) -> WaitToken {
+        let mut count = self
+            .state
+            .outstanding
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *count += 1;
+        WaitToken {
+            state: self.state.clone(),
+        }
+    }
+
+    /// Block until every token has been dropped.
+    pub(crate) fn wait(&self) {
+        let mut count = self
+            .state
+            .outstanding
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while *count > 0 {
+            count = self
+                .state
+                .done
+                .wait(count)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for WaitToken {
+    fn drop(&mut self) {
+        let mut count = self
+            .state
+            .outstanding
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *count -= 1;
+        if *count == 0 {
+            self.state.done.notify_all();
         }
     }
 }
@@ -154,5 +308,53 @@ mod tests {
         let pool = WorkerPool::new(2);
         pool.scatter_gather(10, |_| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        let pool = WorkerPool::new(2);
+        let wg = WaitGroup::new();
+        let token = wg.token();
+        pool.execute(move || {
+            let _token = token;
+            panic!("job panic must stay inside the worker");
+        })
+        .unwrap();
+        wg.wait();
+        // The pool still has live workers and completes new jobs.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        pool.scatter_gather(20, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+        assert_eq!(pool.workers(), 2);
+    }
+
+    #[test]
+    fn pool_grows_on_demand_but_never_shrinks() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.workers(), 2);
+        pool.ensure_workers(5);
+        assert_eq!(pool.workers(), 5);
+        pool.ensure_workers(3); // never shrinks
+        assert_eq!(pool.workers(), 5);
+        pool.ensure_workers(MAX_POOL_WORKERS + 100);
+        assert_eq!(pool.workers(), MAX_POOL_WORKERS);
+        // All workers remain usable after growth.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        pool.scatter_gather(200, move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn execute_reports_closure_instead_of_panicking() {
+        let mut pool = WorkerPool::new(1);
+        pool.tx.take(); // simulate shutdown having begun
+        let result = pool.execute(|| {});
+        assert_eq!(result, Err(PoolClosed));
     }
 }

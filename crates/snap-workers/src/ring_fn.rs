@@ -11,9 +11,11 @@
 
 use std::sync::Arc;
 
-use snap_ast::{EvalError, PureFn, Ring, Value};
+use snap_ast::pure::compile_cached;
+use snap_ast::{EvalError, Ring, Value};
 
-use crate::parallel::{map_slice, Strategy};
+use crate::executor::{map_slice_with, ExecMode};
+use crate::parallel::Strategy;
 
 /// Whether values crossing the worker boundary are structured-cloned
 /// (the Web Worker model) or shared (what raw threads allow). `Share` is
@@ -37,6 +39,8 @@ pub struct RingMapOptions {
     pub strategy: Strategy,
     /// Boundary-crossing semantics.
     pub isolation: Isolation,
+    /// Pooled (default) or spawn-per-call execution.
+    pub exec: ExecMode,
     /// Simulated per-item service time, slept by the worker before
     /// evaluating. Models latency-bound items (a drink takes time to
     /// pour, a request takes time to answer) so worker scaling is
@@ -50,6 +54,7 @@ impl Default for RingMapOptions {
             workers: crate::parallel::default_workers(),
             strategy: Strategy::Dynamic,
             isolation: Isolation::Copy,
+            exec: ExecMode::Pooled,
             latency: None,
         }
     }
@@ -62,20 +67,26 @@ pub fn ring_map(
     items: Vec<Value>,
     options: RingMapOptions,
 ) -> Result<Vec<Value>, EvalError> {
-    let f = PureFn::compile(ring)?;
-    let results = map_slice(&items, options.workers, options.strategy, |item| {
-        if let Some(latency) = options.latency {
-            std::thread::sleep(latency);
-        }
-        let input = match options.isolation {
-            Isolation::Copy => item.deep_copy(),
-            Isolation::Share => item.clone(),
-        };
-        f.call1(input).map(|v| match options.isolation {
-            Isolation::Copy => v.deep_copy(),
-            Isolation::Share => v,
-        })
-    });
+    let f = compile_cached(&ring)?;
+    let results = map_slice_with(
+        &items,
+        options.workers,
+        options.strategy,
+        options.exec,
+        |item| {
+            if let Some(latency) = options.latency {
+                std::thread::sleep(latency);
+            }
+            let input = match options.isolation {
+                Isolation::Copy => item.deep_copy(),
+                Isolation::Share => item.clone(),
+            };
+            f.call1(input).map(|v| match options.isolation {
+                Isolation::Copy => v.deep_copy(),
+                Isolation::Share => v,
+            })
+        },
+    );
     results.into_iter().collect()
 }
 
@@ -110,22 +121,28 @@ pub fn ring_reduce_groups(
     groups: Vec<(Value, Vec<Value>)>,
     options: RingMapOptions,
 ) -> Result<Vec<Value>, EvalError> {
-    let f = PureFn::compile(ring)?;
-    let results = map_slice(&groups, options.workers, options.strategy, |(key, values)| {
-        let arg = match options.isolation {
-            Isolation::Copy => Value::list(values.iter().map(Value::deep_copy).collect()),
-            Isolation::Share => Value::list(values.clone()),
-        };
-        f.call1(arg).map(|reduced| {
-            Value::list(vec![
-                key.clone(),
-                match options.isolation {
-                    Isolation::Copy => reduced.deep_copy(),
-                    Isolation::Share => reduced,
-                },
-            ])
-        })
-    });
+    let f = compile_cached(&ring)?;
+    let results = map_slice_with(
+        &groups,
+        options.workers,
+        options.strategy,
+        options.exec,
+        |(key, values)| {
+            let arg = match options.isolation {
+                Isolation::Copy => Value::list(values.iter().map(Value::deep_copy).collect()),
+                Isolation::Share => Value::list(values.clone()),
+            };
+            f.call1(arg).map(|reduced| {
+                Value::list(vec![
+                    key.clone(),
+                    match options.isolation {
+                        Isolation::Copy => reduced.deep_copy(),
+                        Isolation::Share => reduced,
+                    },
+                ])
+            })
+        },
+    );
     results.into_iter().collect()
 }
 
@@ -218,8 +235,7 @@ mod tests {
             vec!["w".into()],
             make_list(vec![var("w"), num(1.0)]),
         ));
-        let pairs =
-            ring_map_pairs(good, vec!["a".into()], RingMapOptions::default()).unwrap();
+        let pairs = ring_map_pairs(good, vec!["a".into()], RingMapOptions::default()).unwrap();
         assert_eq!(pairs[0].0, Value::text("a"));
         let bad = Arc::new(Ring::reporter(empty_slot()));
         assert!(ring_map_pairs(bad, vec![1.into()], RingMapOptions::default()).is_err());

@@ -30,7 +30,11 @@ fn narrator() -> SpriteDef {
             Stmt::ResetTimer,
             say(text("You wake at a crossroads in a pixel forest.")),
             broadcast_and_wait("scene:crossroads"),
-            say(join(vec![text("THE END (after "), timer(), text(" timesteps)")])),
+            say(join(vec![
+                text("THE END (after "),
+                timer(),
+                text(" timesteps)"),
+            ])),
         ]))
         .with_script(Script::on_message(
             "scene:crossroads",
@@ -51,7 +55,9 @@ fn narrator() -> SpriteDef {
             "scene:forest",
             [
                 vec![
-                    say(text("A glade full of fireflies. They all light up at once:")),
+                    say(text(
+                        "A glade full of fireflies. They all light up at once:",
+                    )),
                     // Parallel ambience: one clone per firefly, blinking
                     // concurrently — this is parallelForEach at work.
                     parallel_for_each(
@@ -80,9 +86,9 @@ fn narrator() -> SpriteDef {
                 vec![if_else(
                     eq(var("choice"), text("sneak")),
                     vec![say(text("You pocket a coin and tiptoe out. You win!"))],
-                    vec![
-                        say(text("The dragon wakes. You are briefly warm. You lose.")),
-                    ],
+                    vec![say(text(
+                        "The dragon wakes. You are briefly warm. You lose.",
+                    ))],
                 )],
             ]
             .concat(),

@@ -93,9 +93,7 @@ fn main() {
     .expect("climate MapReduce runs");
     let avg_c = out[0].as_list().unwrap().item(2).unwrap().to_number();
     let expected_c = f_to_c(dataset.mean_f());
-    println!(
-        "mean temperature: {avg_c:.2} C via mapReduce (reference {expected_c:.2} C)\n"
-    );
+    println!("mean temperature: {avg_c:.2} C via mapReduce (reference {expected_c:.2} C)\n");
 
     // Per-year means: the warming signal the students look for.
     println!("decadal means (C):");
@@ -103,8 +101,7 @@ fn main() {
     for decade in yearly.chunks(10) {
         let first = decade.first().unwrap().0;
         let last = decade.last().unwrap().0;
-        let mean_c: f64 =
-            decade.iter().map(|(_, f)| f_to_c(*f)).sum::<f64>() / decade.len() as f64;
+        let mean_c: f64 = decade.iter().map(|(_, f)| f_to_c(*f)).sum::<f64>() / decade.len() as f64;
         println!("  {first}-{last}: {mean_c:.2} C");
     }
     let first_c = f_to_c(yearly.first().unwrap().1);

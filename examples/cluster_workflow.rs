@@ -92,8 +92,7 @@ fn main() {
     };
     println!("{:>6} {:>12} {:>9}", "nodes", "makespan", "speedup");
     for (nodes, makespan, speedup) in
-        strong_scaling_sweep(ring, items, &base, &[1, 2, 4, 8, 16, 32, 64])
-            .expect("sweep runs")
+        strong_scaling_sweep(ring, items, &base, &[1, 2, 4, 8, 16, 32, 64]).expect("sweep runs")
     {
         println!("{nodes:>6} {makespan:>12} {speedup:>8.2}x");
     }

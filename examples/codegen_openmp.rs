@@ -13,10 +13,10 @@
 use std::sync::Arc;
 
 use snap_core::build::BuildPipeline;
+use snap_core::codegen::emit_listing5;
 use snap_core::codegen::openmp::{
     averaging_reducer, climate_mapper, emit_mapreduce_openmp, LISTING4_OPENMP_HELLO,
 };
-use snap_core::codegen::emit_listing5;
 use snap_core::data::{f_to_c, generate_noaa, NoaaConfig};
 use snap_core::prelude::*;
 
@@ -75,13 +75,8 @@ fn main() {
             length_of(var("vals")),
         ),
     ));
-    let in_vm = snap_core::parallel::map_reduce(
-        mapper,
-        reducer,
-        dataset.temps_f_values(),
-        4,
-    )
-    .expect("in-VM MapReduce");
+    let in_vm = snap_core::parallel::map_reduce(mapper, reducer, dataset.temps_f_values(), 4)
+        .expect("in-VM MapReduce");
     let vm_avg = in_vm[0].as_list().unwrap().item(2).unwrap().to_number();
 
     println!("dataset             : {} readings", dataset.readings.len());

@@ -29,11 +29,13 @@ fn concession(parallel: bool) -> Project {
             "cups",
             Constant::List(vec!["Cup1".into(), "Cup2".into(), "Cup3".into()]),
         )
-        .with_sprite(SpriteDef::new("Pitcher").with_script(Script::on_green_flag(vec![
-            Stmt::ResetTimer,
-            serve,
-            say(join(vec![text("total "), timer()])),
-        ])))
+        .with_sprite(
+            SpriteDef::new("Pitcher").with_script(Script::on_green_flag(vec![
+                Stmt::ResetTimer,
+                serve,
+                say(join(vec![text("total "), timer()])),
+            ])),
+        )
 }
 
 fn run_mode(label: &str, parallel: bool) -> (Vec<(u64, String)>, u64) {
@@ -79,7 +81,10 @@ fn show_parallel_frames() {
     for shot in 1..=3u64 {
         session.vm.step_frame();
         println!("--- stage at timestep {shot} (cf. Fig. 9) ---");
-        print!("{}", render_stage(&session.vm.world, session.vm.timestep(), &view));
+        print!(
+            "{}",
+            render_stage(&session.vm.world, session.vm.timestep(), &view)
+        );
     }
     session.vm.run_until_idle();
 }
@@ -108,15 +113,17 @@ fn main() {
             "cups",
             Constant::List(vec!["Cup1".into(), "Cup2".into(), "Cup3".into()]),
         )
-        .with_sprite(SpriteDef::new("Pitcher").with_script(Script::on_green_flag(vec![
-            Stmt::ResetTimer,
-            warp(vec![for_each(
-                "cup",
-                var("cups"),
-                vec![repeat(num(3.0), vec![wait(num(1.0))])],
-            )]),
-            say(timer()),
-        ])));
+        .with_sprite(
+            SpriteDef::new("Pitcher").with_script(Script::on_green_flag(vec![
+                Stmt::ResetTimer,
+                warp(vec![for_each(
+                    "cup",
+                    var("cups"),
+                    vec![repeat(num(3.0), vec![wait(num(1.0))])],
+                )]),
+                say(timer()),
+            ])),
+        );
     let mut session = Session::load(ideal);
     session.run();
     println!(

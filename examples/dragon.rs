@@ -17,9 +17,9 @@ fn main() {
         SpriteDef::new("Dragon")
             .at(-180.0, 0.0)
             // when green flag clicked: forever { move 12 steps }
-            .with_script(Script::on_green_flag(vec![forever(vec![move_steps(
-                num(12.0),
-            )])]))
+            .with_script(Script::on_green_flag(vec![forever(vec![move_steps(num(
+                12.0,
+            ))])]))
             // when right arrow key pressed: turn right 15 degrees
             .with_script(Script::on_key(
                 "right arrow",
@@ -58,7 +58,10 @@ fn main() {
         session.vm.key_press("left arrow");
     }
     session.vm.run_frames(8);
-    snapshot(&mut session.vm, "after six left-arrow presses (heading 0 = up)");
+    snapshot(
+        &mut session.vm,
+        "after six left-arrow presses (heading 0 = up)",
+    );
 
     for _ in 0..6 {
         session.vm.key_press("left arrow");

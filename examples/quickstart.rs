@@ -12,29 +12,34 @@ use snap_core::prelude::*;
 
 fn main() {
     // --- Figure 4: the sequential map block -------------------------
-    let sequential = Project::new("fig4-map").with_sprite(
-        SpriteDef::new("Sprite").with_script(Script::on_green_flag(vec![say(map_over(
+    let sequential = Project::new("fig4-map").with_sprite(SpriteDef::new("Sprite").with_script(
+        Script::on_green_flag(vec![say(map_over(
             ring_reporter(mul(empty_slot(), num(10.0))),
             number_list([3.0, 7.0, 8.0]),
-        ))])),
-    );
+        ))]),
+    ));
     let mut session = Session::load(sequential);
     session.run();
-    println!("map (( ) x 10) over [3, 7, 8]          -> {}", session.said()[0]);
+    println!(
+        "map (( ) x 10) over [3, 7, 8]          -> {}",
+        session.said()[0]
+    );
 
     // --- Figure 5: parallelMap with 4 Web-Worker-style threads ------
-    let parallel = Project::new("fig5-parallelmap").with_sprite(
-        SpriteDef::new("Sprite").with_script(Script::on_green_flag(vec![say(
-            parallel_map_with_workers(
+    let parallel =
+        Project::new("fig5-parallelmap").with_sprite(SpriteDef::new("Sprite").with_script(
+            Script::on_green_flag(vec![say(parallel_map_with_workers(
                 ring_reporter(mul(empty_slot(), num(10.0))),
                 number_list([3.0, 7.0, 8.0]),
                 num(4.0),
-            ),
-        )])),
-    );
+            ))]),
+        ));
     let mut session = Session::load(parallel);
     session.run();
-    println!("parallelMap, 4 workers                 -> {}", session.said()[0]);
+    println!(
+        "parallelMap, 4 workers                 -> {}",
+        session.said()[0]
+    );
 
     // --- Figure 6: the first ten inputs/outputs of a long list ------
     let mut session = Session::load(Project::new("fig6").with_sprite(SpriteDef::new("S")));

@@ -19,14 +19,17 @@ use snap_core::prelude::*;
 /// Step 1 — sequential programming: the first script a student builds.
 fn step_sequential() {
     println!("== step 1: sequential Snap! (minutes 0-20) ==");
-    let project = Project::new("first-script").with_sprite(
-        SpriteDef::new("Cat").with_script(Script::on_green_flag(vec![
+    let project = Project::new("first-script").with_sprite(SpriteDef::new("Cat").with_script(
+        Script::on_green_flag(vec![
             say(text("hello, WCD!")),
             set_var("steps", num(0.0)),
-            repeat(num(5.0), vec![move_steps(num(10.0)), change_var("steps", num(1.0))]),
+            repeat(
+                num(5.0),
+                vec![move_steps(num(10.0)), change_var("steps", num(1.0))],
+            ),
             say(join(vec![text("I moved "), var("steps"), text(" times")])),
-        ])),
-    );
+        ]),
+    ));
     let mut session = Session::load(project);
     session.run();
     for line in session.said() {
@@ -37,9 +40,8 @@ fn step_sequential() {
 /// Step 2 — the parallel blocks, exactly as introduced in the session.
 fn step_parallel_blocks() {
     println!("\n== step 2: parallelMap and parallelForEach (minute 20) ==");
-    let mut session = Session::load(
-        Project::new("parallel-intro").with_sprite(SpriteDef::new("Cat")),
-    );
+    let mut session =
+        Session::load(Project::new("parallel-intro").with_sprite(SpriteDef::new("Cat")));
     let squares = session
         .eval(
             Some("Cat"),
@@ -78,23 +80,25 @@ fn step_balloon_game() {
                 ),
             ])),
         )
-        .with_sprite(SpriteDef::new("Balloon").with_script(Script::on_green_flag(vec![
-            // All balloons fall concurrently; each takes x-position from
-            // the list and lands after a few timesteps.
-            parallel_for_each(
-                "x",
-                var("balloons"),
-                vec![
-                    wait(num(3.0)), // falling
-                    // caught if the basket is within 30 units at landing
-                    if_then(
-                        lt(abs(sub(var("x"), var("basket_x"))), num(30.0)),
-                        vec![change_var("caught", num(1.0))],
-                    ),
-                ],
-            ),
-            say(join(vec![text("caught "), var("caught"), text(" of 6")])),
-        ])));
+        .with_sprite(
+            SpriteDef::new("Balloon").with_script(Script::on_green_flag(vec![
+                // All balloons fall concurrently; each takes x-position from
+                // the list and lands after a few timesteps.
+                parallel_for_each(
+                    "x",
+                    var("balloons"),
+                    vec![
+                        wait(num(3.0)), // falling
+                        // caught if the basket is within 30 units at landing
+                        if_then(
+                            lt(abs(sub(var("x"), var("basket_x"))), num(30.0)),
+                            vec![change_var("caught", num(1.0))],
+                        ),
+                    ],
+                ),
+                say(join(vec![text("caught "), var("caught"), text(" of 6")])),
+            ])),
+        );
     let mut session = Session::load(project);
     session.run();
     let said = session.said();
@@ -106,8 +110,10 @@ fn step_balloon_game() {
 fn step_survey() {
     println!("\n== step 4: the survey (paper section 5) ==");
     let table = tabulate(&simulate_cohort(100, 2016));
-    println!("   career = CS: {:.0}%   other: {:.0}%   no answer: {:.0}%",
-        table.career_cs_pct, table.career_other_pct, table.career_none_pct);
+    println!(
+        "   career = CS: {:.0}%   other: {:.0}%   no answer: {:.0}%",
+        table.career_cs_pct, table.career_other_pct, table.career_none_pct
+    );
     println!("   CS benefits a non-CS career: {:.0}%", table.benefit_pct);
     println!(
         "   impression: +{:.0}% / -{:.0}% / ={:.0}%",

@@ -17,16 +17,16 @@ use snap_core::prelude::*;
 fn main() {
     // --- Figure 11: word count as blocks ----------------------------
     let sentence = "the quick brown fox jumps over the lazy dog the end";
-    let project = Project::new("word-count").with_sprite(
-        SpriteDef::new("Counter").with_script(Script::on_green_flag(vec![say(map_reduce(
+    let project = Project::new("word-count").with_sprite(SpriteDef::new("Counter").with_script(
+        Script::on_green_flag(vec![say(map_reduce(
             ring_reporter_with(vec!["w"], make_list(vec![var("w"), num(1.0)])),
             ring_reporter_with(
                 vec!["vals"],
                 combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
             ),
             split(text(sentence), text(" ")),
-        ))])),
-    );
+        ))]),
+    ));
     let mut session = Session::load(project);
     session.run();
     println!("input : {sentence:?}");
@@ -37,7 +37,10 @@ fn main() {
     let n = 200_000;
     let words = generate_words(n, 42);
     let reference = reference_counts(&words);
-    println!("corpus: {n} Zipf-distributed words, {} unique", reference.len());
+    println!(
+        "corpus: {n} Zipf-distributed words, {} unique",
+        reference.len()
+    );
 
     let mapper = Arc::new(Ring::reporter_with_params(
         vec!["w".into()],

@@ -3,8 +3,8 @@
 
 use snap_core::build::{parse_kv_output, BuildPipeline};
 use snap_core::codegen::openmp::{
-    averaging_reducer, climate_mapper, emit_mapreduce_openmp, summing_reducer,
-    word_count_mapper, OPENMP_HELLO_RUNNABLE,
+    averaging_reducer, climate_mapper, emit_mapreduce_openmp, summing_reducer, word_count_mapper,
+    OPENMP_HELLO_RUNNABLE,
 };
 use snap_core::codegen::{emit_c_program, emit_listing5, CodeMapping, Generator, Target};
 use snap_core::prelude::*;
@@ -45,9 +45,8 @@ fn generated_c_scripts_print_what_the_vm_says() {
         ),
     ];
 
-    let project = Project::new("t").with_sprite(
-        SpriteDef::new("S").with_script(Script::on_green_flag(script.clone())),
-    );
+    let project = Project::new("t")
+        .with_sprite(SpriteDef::new("S").with_script(Script::on_green_flag(script.clone())));
     let mut session = Session::load(project);
     session.run();
     let vm_output: Vec<String> = session.said().iter().map(|s| s.to_string()).collect();
@@ -91,8 +90,7 @@ fn generated_and_in_vm_mapreduce_agree_on_word_count() {
     }
     let words = ["snap", "map", "snap", "reduce", "snap", "map"];
     let data: Vec<(String, f64)> = words.iter().map(|w| (w.to_string(), 1.0)).collect();
-    let program =
-        emit_mapreduce_openmp(&word_count_mapper(), &summing_reducer(), &data).unwrap();
+    let program = emit_mapreduce_openmp(&word_count_mapper(), &summing_reducer(), &data).unwrap();
     let compiled = pipeline.build_and_run_mapreduce(&program).unwrap();
 
     // In-VM reference through the parallel backend.
@@ -189,12 +187,10 @@ fn climate_program_survives_large_embedded_datasets() {
     let dataset: Vec<(String, f64)> = (0..5000)
         .map(|i| (format!("ST{:03}", i % 25), 30.0 + (i % 60) as f64))
         .collect();
-    let program =
-        emit_mapreduce_openmp(&climate_mapper(), &averaging_reducer(), &dataset).unwrap();
+    let program = emit_mapreduce_openmp(&climate_mapper(), &averaging_reducer(), &dataset).unwrap();
     let results = pipeline.build_and_run_mapreduce(&program).unwrap();
     assert_eq!(results.len(), 1, "one 'avg' group");
-    let expected = snap_core::data::f_to_c(
-        dataset.iter().map(|(_, v)| v).sum::<f64>() / dataset.len() as f64,
-    );
+    let expected =
+        snap_core::data::f_to_c(dataset.iter().map(|(_, v)| v).sum::<f64>() / dataset.len() as f64);
     assert!((results[0].1 - expected).abs() < 0.05);
 }

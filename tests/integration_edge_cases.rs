@@ -60,7 +60,10 @@ fn parallel_map_over_empty_list_is_empty() {
     let v = session
         .eval(
             Some("S"),
-            &parallel_map_over(ring_reporter(mul(empty_slot(), num(10.0))), make_list(vec![])),
+            &parallel_map_over(
+                ring_reporter(mul(empty_slot(), num(10.0))),
+                make_list(vec![]),
+            ),
         )
         .unwrap();
     assert_eq!(v, Value::list(vec![]));
@@ -129,16 +132,15 @@ fn broadcast_with_no_receivers_is_fine() {
 
 #[test]
 fn broadcast_during_broadcast_chains() {
-    let project = Project::new("t")
-        .with_sprite(
-            SpriteDef::new("S")
-                .with_script(Script::on_green_flag(vec![broadcast_and_wait("one")]))
-                .with_script(Script::on_message(
-                    "one",
-                    vec![say(text("one")), broadcast_and_wait("two")],
-                ))
-                .with_script(Script::on_message("two", vec![say(text("two"))])),
-        );
+    let project = Project::new("t").with_sprite(
+        SpriteDef::new("S")
+            .with_script(Script::on_green_flag(vec![broadcast_and_wait("one")]))
+            .with_script(Script::on_message(
+                "one",
+                vec![say(text("one")), broadcast_and_wait("two")],
+            ))
+            .with_script(Script::on_message("two", vec![say(text("two"))])),
+    );
     let session = run(project);
     assert_eq!(session.said(), vec!["one", "two"]);
 }
@@ -175,9 +177,7 @@ fn text_and_number_coercion_in_arithmetic() {
     let mut session = Session::load(Project::new("t").with_sprite(SpriteDef::new("S")));
     // "5" + "3" = 8 (numeric text), "x" + 3 = 3 (non-numeric → 0).
     assert_eq!(
-        session
-            .eval(Some("S"), &add(text("5"), text("3")))
-            .unwrap(),
+        session.eval(Some("S"), &add(text("5"), text("3"))).unwrap(),
         Value::Number(8.0)
     );
     assert_eq!(
@@ -235,10 +235,7 @@ fn ring_called_with_wrong_arity_errors_cleanly() {
 fn map_over_non_list_reports_a_type_error() {
     let mut session = Session::load(Project::new("t").with_sprite(SpriteDef::new("S")));
     let err = session
-        .eval(
-            Some("S"),
-            &map_over(ring_reporter(empty_slot()), num(42.0)),
-        )
+        .eval(Some("S"), &map_over(ring_reporter(empty_slot()), num(42.0)))
         .unwrap_err();
     assert!(err.to_string().contains("expected a list"));
 }
@@ -263,10 +260,9 @@ fn many_concurrent_scripts_all_finish() {
             change_var("done", num(1.0)),
         ]));
     }
-    project = project.with_global("done", Constant::Number(0.0)).with_sprite(sprite);
+    project = project
+        .with_global("done", Constant::Number(0.0))
+        .with_sprite(sprite);
     let session = run(project);
-    assert_eq!(
-        session.vm.world.global("done"),
-        Some(&Value::Number(50.0))
-    );
+    assert_eq!(session.vm.world.global("done"), Some(&Value::Number(50.0)));
 }

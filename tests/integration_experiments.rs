@@ -58,11 +58,13 @@ fn e3_concession_stand_timing() {
                 "cups",
                 Constant::List(vec!["c1".into(), "c2".into(), "c3".into()]),
             )
-            .with_sprite(SpriteDef::new("Pitcher").with_script(Script::on_green_flag(vec![
-                Stmt::ResetTimer,
-                serve,
-                say(timer()),
-            ])))
+            .with_sprite(
+                SpriteDef::new("Pitcher").with_script(Script::on_green_flag(vec![
+                    Stmt::ResetTimer,
+                    serve,
+                    say(timer()),
+                ])),
+            )
     };
     let mut seq = Session::load(build(false));
     seq.run();
@@ -118,10 +120,7 @@ fn e5_climate_average() {
                 ring_reporter_with(
                     vec!["vals"],
                     div(
-                        combine_using(
-                            var("vals"),
-                            ring_reporter(add(empty_slot(), empty_slot())),
-                        ),
+                        combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
                         length_of(var("vals")),
                     ),
                 ),
@@ -166,7 +165,9 @@ fn e8_openmp_mapreduce_structure() {
         &[("s".into(), 32.0)],
     )
     .unwrap();
-    assert!(program.mapred_c.contains("out->val = ((5 * (in->val - 32)) / 9);"));
+    assert!(program
+        .mapred_c
+        .contains("out->val = ((5 * (in->val - 32)) / 9);"));
     assert!(program.driver_c.contains("#pragma omp parallel for"));
     assert!(program.kvp_h.contains("typedef struct KVP"));
 }

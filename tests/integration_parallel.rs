@@ -2,8 +2,9 @@
 
 use std::sync::Arc;
 
-use snap_core::data::{generate_noaa, generate_word_values, generate_words, reference_counts,
-    NoaaConfig};
+use snap_core::data::{
+    generate_noaa, generate_word_values, generate_words, reference_counts, NoaaConfig,
+};
 use snap_core::prelude::*;
 
 fn times_ten_ring() -> Arc<Ring> {
@@ -63,13 +64,8 @@ fn map_reduce_word_count_matches_reference_on_generated_corpus() {
         vec!["vals".into()],
         combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
     ));
-    let out = snap_core::parallel::map_reduce(
-        mapper,
-        reducer,
-        generate_word_values(5000, 99),
-        4,
-    )
-    .unwrap();
+    let out = snap_core::parallel::map_reduce(mapper, reducer, generate_word_values(5000, 99), 4)
+        .unwrap();
     assert_eq!(out.len(), reference.len());
     for (pair, (word, count)) in out.iter().zip(&reference) {
         let pair = pair.as_list().unwrap();
@@ -144,7 +140,10 @@ fn per_station_map_reduce_produces_one_group_per_station() {
     // Southern stations (low index) are warmer.
     let first = out[0].as_list().unwrap().item(2).unwrap().to_number();
     let last = out[6].as_list().unwrap().item(2).unwrap().to_number();
-    assert!(first > last, "ST000 ({first}) should be warmer than ST006 ({last})");
+    assert!(
+        first > last,
+        "ST000 ({first}) should be warmer than ST006 ({last})"
+    );
 }
 
 #[test]

@@ -7,9 +7,9 @@ use snap_core::prelude::*;
 fn dragon_project() -> Project {
     Project::new("dragon").with_sprite(
         SpriteDef::new("Dragon")
-            .with_script(Script::on_green_flag(vec![forever(vec![move_steps(
-                num(2.0),
-            )])]))
+            .with_script(Script::on_green_flag(vec![forever(vec![move_steps(num(
+                2.0,
+            ))])]))
             .with_script(Script::on_key(
                 "right arrow",
                 vec![Stmt::TurnRight(num(15.0))],
@@ -43,10 +43,17 @@ fn dragon_flies_and_steers() {
 fn project_survives_save_load_run_cycle() {
     let project = Project::new("roundtrip")
         .with_global("total", Constant::Number(0.0))
-        .with_sprite(SpriteDef::new("Adder").with_script(Script::on_green_flag(vec![
-            for_loop("i", num(1.0), num(100.0), vec![change_var("total", var("i"))]),
-            say(var("total")),
-        ])));
+        .with_sprite(
+            SpriteDef::new("Adder").with_script(Script::on_green_flag(vec![
+                for_loop(
+                    "i",
+                    num(1.0),
+                    num(100.0),
+                    vec![change_var("total", var("i"))],
+                ),
+                say(var("total")),
+            ])),
+        );
     let json = project.to_json();
     let reloaded = Project::from_json(&json).expect("valid project JSON");
     assert_eq!(reloaded, project);
@@ -63,13 +70,15 @@ fn project_survives_save_load_run_cycle() {
 fn two_sprites_collaborate_via_broadcasts() {
     let project = Project::new("pingpong")
         .with_global("rally", Constant::Number(0.0))
-        .with_sprite(SpriteDef::new("Ping").with_script(Script::on_green_flag(vec![
-            repeat(
-                num(3.0),
-                vec![broadcast_and_wait("pong"), change_var("rally", num(1.0))],
-            ),
-            say(var("rally")),
-        ])))
+        .with_sprite(
+            SpriteDef::new("Ping").with_script(Script::on_green_flag(vec![
+                repeat(
+                    num(3.0),
+                    vec![broadcast_and_wait("pong"), change_var("rally", num(1.0))],
+                ),
+                say(var("rally")),
+            ])),
+        )
         .with_sprite(SpriteDef::new("Pong").with_script(Script::on_message(
             "pong",
             vec![change_var("rally", num(1.0))],
@@ -96,9 +105,12 @@ fn custom_blocks_compose_across_sprites() {
                 text(" C"),
             ]))],
         ))
-        .with_sprite(SpriteDef::new("Weather").with_script(Script::on_green_flag(vec![
-            Stmt::CallCustom("announce".into(), vec![num(212.0)]),
-        ])));
+        .with_sprite(
+            SpriteDef::new("Weather").with_script(Script::on_green_flag(vec![Stmt::CallCustom(
+                "announce".into(),
+                vec![num(212.0)],
+            )])),
+        );
     let mut session = Session::load(project);
     session.run();
     assert_eq!(session.said(), vec!["it is 100 C"]);
@@ -151,9 +163,8 @@ fn clones_inherit_state_but_not_identity() {
 
 #[test]
 fn stage_scripts_run_too() {
-    let project = Project::new("stage").with_stage_script(Script::on_green_flag(vec![say(
-        text("stage here"),
-    )]));
+    let project = Project::new("stage")
+        .with_stage_script(Script::on_green_flag(vec![say(text("stage here"))]));
     let mut session = Session::load(project);
     session.run();
     assert_eq!(session.said(), vec!["stage here"]);
@@ -185,12 +196,12 @@ fn keep_and_combine_work_in_scripts() {
 #[test]
 fn deterministic_rng_makes_runs_reproducible() {
     let project = || {
-        Project::new("rng").with_sprite(SpriteDef::new("S").with_script(
-            Script::on_green_flag(vec![repeat(
+        Project::new("rng").with_sprite(SpriteDef::new("S").with_script(Script::on_green_flag(
+            vec![repeat(
                 num(5.0),
                 vec![say(pick_random(num(1.0), num(100.0)))],
-            )]),
-        ))
+            )],
+        )))
     };
     let mut a = Session::load(project());
     let mut b = Session::load(project());

@@ -1,0 +1,247 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness with criterion's API shape:
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!` / `criterion_main!`. Each benchmark runs a short
+//! warm-up, then collects `sample_size` samples (each timing a batch
+//! sized so a sample takes roughly a millisecond) and reports the median
+//! per-iteration time on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (the group supplies the function name).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the target measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declared throughput: accepted and ignored (the stub reports only
+    /// per-iteration times).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.name);
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to it by the benchmark body.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up, and estimate the per-iteration cost.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size each sample's batch so samples fit the measurement budget.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns.push(elapsed * 1e9 / batch as f64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples_ns.is_empty() {
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        let label = if group.is_empty() {
+            id.to_owned()
+        } else {
+            format!("{group}/{id}")
+        };
+        println!(
+            "{label:<50} time: [{} {} {}]",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); the
+            // stub has no filtering, so arguments are ignored.
+            $( $group(); )+
+        }
+    };
+}

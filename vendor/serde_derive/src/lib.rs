@@ -1,0 +1,393 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports the shapes this workspace
+//! derives on: non-generic structs with named fields, tuple structs, and
+//! enums whose variants are unit, tuple, or struct-like. Enums use
+//! serde's externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: named (`Some(name)`) or positional (`None`).
+struct Field {
+    name: Option<String>,
+}
+
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { a: T, … }` or `struct S(T, …);`
+    Struct(Vec<Field>),
+    /// `enum E { V, V(T,…), V { a: T, … }, … }`
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_item(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    gen_serialize(&parsed).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_item(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    gen_deserialize(&parsed).parse().unwrap()
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generics on {name}"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            None | Some(TokenTree::Punct(_)) => Ok(Parsed {
+                name,
+                shape: Shape::UnitStruct,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?
+                    .into_iter()
+                    .map(|n| Field { name: Some(n) })
+                    .collect();
+                Ok(Parsed {
+                    name,
+                    shape: Shape::Struct(fields),
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                Ok(Parsed {
+                    name,
+                    shape: Shape::Struct((0..arity).map(|_| Field { name: None }).collect()),
+                })
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Parsed {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for {other}")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + [bracket group]
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a token stream at top-level commas (angle-bracket aware).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => continue,
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match chunk.get(i) {
+            None => VariantShape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantShape::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantShape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                VariantShape::Unit // discriminant; value ignored
+            }
+            other => return Err(format!("unsupported variant body: {other:?}")),
+        };
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::UnitStruct => "::serde::json::Value::Null".to_string(),
+        Shape::Struct(fields) => {
+            if fields.iter().all(|f| f.name.is_some()) && !fields.is_empty() {
+                let mut s = String::from("{ let mut __m = ::serde::json::Map::new();\n");
+                for f in fields {
+                    let n = f.name.as_ref().unwrap();
+                    s.push_str(&format!(
+                        "__m.insert({n:?}.to_string(), ::serde::Serialize::to_json_value(&self.{n}));\n"
+                    ));
+                }
+                s.push_str("::serde::json::Value::Object(__m) }");
+                s
+            } else {
+                let items: Vec<String> = (0..fields.len())
+                    .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                    .collect();
+                format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, shape) in variants {
+                match shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::json::Value::String({vname:?}.to_string()),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut __m = ::serde::json::Map::new();\n\
+                             __m.insert({vname:?}.to_string(), {payload});\n\
+                             ::serde::json::Value::Object(__m)\n}}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inner =
+                            String::from("let mut __fields = ::serde::json::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.insert({f:?}.to_string(), ::serde::Serialize::to_json_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n{inner}\
+                             let mut __m = ::serde::json::Map::new();\n\
+                             __m.insert({vname:?}.to_string(), ::serde::json::Value::Object(__fields));\n\
+                             ::serde::json::Value::Object(__m)\n}}\n",
+                            binds = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Struct(fields) => {
+            if fields.iter().all(|f| f.name.is_some()) && !fields.is_empty() {
+                let mut s = format!(
+                    "let __obj = __v.as_object().ok_or_else(|| ::serde::json::Error::custom(\
+                     format!(\"{name}: expected object, found {{__v:?}}\")))?;\n\
+                     Ok({name} {{\n"
+                );
+                for f in fields {
+                    let n = f.name.as_ref().unwrap();
+                    s.push_str(&format!(
+                        "{n}: ::serde::Deserialize::from_json_value(__obj.get({n:?})\
+                         .ok_or_else(|| ::serde::json::Error::custom(\"{name}: missing field {n}\"))?)?,\n"
+                    ));
+                }
+                s.push_str("})");
+                s
+            } else {
+                let mut s = format!(
+                    "let __items = match __v {{\n\
+                     ::serde::json::Value::Array(items) => items,\n\
+                     other => return Err(::serde::json::Error::custom(\
+                     format!(\"{name}: expected array, found {{other:?}}\"))),\n}};\n\
+                     Ok({name}(\n"
+                );
+                for i in 0..fields.len() {
+                    s.push_str(&format!(
+                        "::serde::Deserialize::from_json_value(__items.get({i})\
+                         .ok_or_else(|| ::serde::json::Error::custom(\"{name}: tuple too short\"))?)?,\n"
+                    ));
+                }
+                s.push_str("))");
+                s
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("{vname:?} => return Ok({name}::{vname}),\n"))
+                    }
+                    VariantShape::Tuple(arity) => {
+                        if *arity == 1 {
+                            tagged_arms.push_str(&format!(
+                                "{vname:?} => return Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_json_value(__payload)?)),\n"
+                            ));
+                        } else {
+                            let mut items = String::new();
+                            for i in 0..*arity {
+                                items.push_str(&format!(
+                                    "::serde::Deserialize::from_json_value(__items.get({i})\
+                                     .ok_or_else(|| ::serde::json::Error::custom(\"{name}::{vname}: tuple too short\"))?)?,\n"
+                                ));
+                            }
+                            tagged_arms.push_str(&format!(
+                                "{vname:?} => {{\n\
+                                 let __items = match __payload {{\n\
+                                 ::serde::json::Value::Array(items) => items,\n\
+                                 other => return Err(::serde::json::Error::custom(\
+                                 format!(\"{name}::{vname}: expected array, found {{other:?}}\"))),\n}};\n\
+                                 return Ok({name}::{vname}({items}));\n}}\n"
+                            ));
+                        }
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inner = format!(
+                            "let __fields = __payload.as_object().ok_or_else(|| \
+                             ::serde::json::Error::custom(\"{name}::{vname}: expected object\"))?;\n\
+                             return Ok({name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_json_value(__fields.get({f:?})\
+                                 .unwrap_or(&::serde::json::Value::Null))?,\n"
+                            ));
+                        }
+                        inner.push_str("});");
+                        tagged_arms.push_str(&format!("{vname:?} => {{\n{inner}\n}}\n"));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::json::Value::String(__s) => {{\n\
+                 match __s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::json::Error::custom(\
+                 format!(\"{name}: unknown unit variant {{other:?}}\"))),\n}}\n}}\n\
+                 ::serde::json::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __payload) = __m.iter().next().unwrap();\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 other => Err(::serde::json::Error::custom(\
+                 format!(\"{name}: unknown variant {{other:?}}\"))),\n}}\n}}\n\
+                 other => Err(::serde::json::Error::custom(\
+                 format!(\"{name}: expected string or single-key object, found {{other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(__v: &::serde::json::Value) -> Result<Self, ::serde::json::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

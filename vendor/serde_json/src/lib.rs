@@ -1,0 +1,72 @@
+//! Offline stand-in for `serde_json`, backed by the `serde` stub's JSON
+//! value tree. Provides the functions and types this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`],
+//! [`from_value`], plus [`Value`], [`Number`], [`Map`] and [`Error`].
+
+pub use serde::json::{Error, Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json_string())
+}
+
+/// Serialize to pretty-printed JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json_string_pretty())
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::json::parse(text)?;
+    T::from_json_value(&value)
+}
+
+/// Convert a serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Rebuild a deserializable type from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_json_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip() {
+        let v = Value::Array(vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Number(Number::from_f64(1.5)),
+            Value::String("a \"b\"\n".into()),
+        ]);
+        let text = v.to_json_string();
+        let back = serde::json::parse(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_text_parses_back() {
+        let mut m = Map::new();
+        m.insert("k".into(), Value::Number(Number::from_f64(3.0)));
+        m.insert("nested".into(), Value::Array(vec![Value::Bool(false)]));
+        let v = Value::Object(m);
+        let back = serde::json::parse(&v.to_json_string_pretty()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn primitives_roundtrip_through_traits() {
+        let n: f64 = from_str(&to_string(&1.25f64).unwrap()).unwrap();
+        assert_eq!(n, 1.25);
+        let s: String = from_str(&to_string("hi there").unwrap()).unwrap();
+        assert_eq!(s, "hi there");
+        let v: Vec<Option<bool>> = from_str(&to_string(&vec![Some(true), None]).unwrap()).unwrap();
+        assert_eq!(v, vec![Some(true), None]);
+    }
+}
