@@ -64,6 +64,39 @@ fn main() {
     if want("e13") {
         e13();
     }
+    if want("e14") {
+        e14();
+    }
+}
+
+fn e14() {
+    header(
+        "E14",
+        "observability: snap-trace execution report for a traced run",
+    );
+    snap_trace::set_enabled(true);
+    let ring = std::sync::Arc::new(snap_ast::Ring::reporter(mul(empty_slot(), num(10.0))));
+    let items = number_items(10_000);
+    let out = snap_parallel::parallel_map(ring, items, 4).expect("traced parallel map");
+    assert_eq!(out.len(), 10_000);
+    // Exercise the parallel shuffle too: word count over a corpus large
+    // enough to cross the threshold.
+    let mapper = std::sync::Arc::new(snap_ast::Ring::reporter_with_params(
+        vec!["w".into()],
+        make_list(vec![var("w"), num(1.0)]),
+    ));
+    let reducer = std::sync::Arc::new(snap_ast::Ring::reporter_with_params(
+        vec!["vals".into()],
+        combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+    ));
+    let words: Vec<Value> = generate_word_values(5_000, 7);
+    snap_parallel::map_reduce(mapper, reducer, words, 4).expect("traced map_reduce");
+    snap_trace::set_enabled(false);
+    let report = snap_trace::report();
+    for line in report.to_table().lines() {
+        println!("  {line}");
+    }
+    println!();
 }
 
 fn e11() {

@@ -1,0 +1,87 @@
+//! Validate an emitted Chrome `trace_event` JSON file (and optionally
+//! an `ExecutionReport` JSON) — the CI gate for the tracing pipeline.
+//!
+//! ```sh
+//! cargo run -p bench --bin trace_check -- target/trace.json [target/trace.json.report.json]
+//! ```
+//!
+//! Exits non-zero if a file is missing, fails to parse, lacks its
+//! required structure, or (for traces) contains malformed events.
+
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+fn parse_file(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde::json::parse(&text).map_err(|e| format!("{path}: bad JSON: {e:?}"))
+}
+
+fn check_trace(path: &str) -> Result<(), String> {
+    let doc = parse_file(path)?;
+    let events = match doc.as_object().and_then(|o| o.get("traceEvents")) {
+        Some(Value::Array(events)) => events,
+        _ => return Err(format!("{path}: no traceEvents array")),
+    };
+    for (i, event) in events.iter().enumerate() {
+        let object = event
+            .as_object()
+            .ok_or_else(|| format!("{path}: event {i} is not an object"))?;
+        for field in ["name", "ph", "ts", "dur", "pid", "tid"] {
+            if object.get(field).is_none() {
+                return Err(format!("{path}: event {i} missing {field:?}"));
+            }
+        }
+    }
+    let mut names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.as_object()?.get("name")?.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    println!(
+        "{path}: OK — {} events, {} distinct spans: {}",
+        events.len(),
+        names.len(),
+        names.join(", ")
+    );
+    Ok(())
+}
+
+fn check_report(path: &str) -> Result<(), String> {
+    let doc = parse_file(path)?;
+    let object = doc
+        .as_object()
+        .ok_or_else(|| format!("{path}: report is not an object"))?;
+    for field in ["counters", "gauges", "spans", "executed_per_worker"] {
+        if object.get(field).is_none() {
+            return Err(format!("{path}: report missing {field:?}"));
+        }
+    }
+    let counters = object
+        .get("counters")
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("{path}: counters is not an object"))?;
+    println!("{path}: OK — {} counters", counters.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: trace_check <chrome-trace.json> [report.json ...]");
+        return ExitCode::FAILURE;
+    }
+    for (i, path) in args.iter().enumerate() {
+        let result = if i == 0 {
+            check_trace(path)
+        } else {
+            check_report(path)
+        };
+        if let Err(message) = result {
+            eprintln!("trace_check FAILED: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

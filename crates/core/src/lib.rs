@@ -32,6 +32,7 @@ pub use snap_build as build;
 pub use snap_codegen as codegen;
 pub use snap_data as data;
 pub use snap_parallel as parallel;
+pub use snap_trace as trace;
 pub use snap_vm as vm;
 pub use snap_workers as workers;
 

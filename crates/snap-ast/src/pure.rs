@@ -95,8 +95,6 @@ struct CompileCache {
     /// a recycled allocation address only hits when the stored weak
     /// still upgrades to *this* `Arc`.
     entries: HashMap<usize, (Weak<Ring>, PureFn)>,
-    hits: u64,
-    misses: u64,
 }
 
 static COMPILE_CACHE: OnceLock<Mutex<CompileCache>> = OnceLock::new();
@@ -105,8 +103,6 @@ fn compile_cache() -> &'static Mutex<CompileCache> {
     COMPILE_CACHE.get_or_init(|| {
         Mutex::new(CompileCache {
             entries: HashMap::new(),
-            hits: 0,
-            misses: 0,
         })
     })
 }
@@ -131,7 +127,7 @@ pub fn compile_cached(ring: &Arc<Ring>) -> Result<PureFn, EvalError> {
     });
     match cached {
         Some(compiled) => {
-            cache.hits += 1;
+            snap_trace::well_known::COMPILE_CACHE_HITS.incr();
             return Ok(compiled);
         }
         None => {
@@ -139,7 +135,7 @@ pub fn compile_cached(ring: &Arc<Ring>) -> Result<PureFn, EvalError> {
             cache.entries.remove(&key);
         }
     }
-    cache.misses += 1;
+    snap_trace::well_known::COMPILE_CACHE_MISSES.incr();
     let compiled = PureFn::compile(ring.clone())?;
     if cache.entries.len() >= COMPILE_CACHE_CAP {
         cache.entries.retain(|_, (weak, _)| weak.strong_count() > 0);
@@ -152,13 +148,14 @@ pub fn compile_cached(ring: &Arc<Ring>) -> Result<PureFn, EvalError> {
     Ok(compiled)
 }
 
-/// Compile-cache hit/miss counters since process start (for tests and
-/// diagnostics).
+/// Compile-cache hit/miss counters since process start, read from the
+/// global `snap-trace` registry (kept as a convenience accessor for
+/// tests and diagnostics).
 pub fn compile_cache_stats() -> (u64, u64) {
-    let cache = compile_cache()
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner);
-    (cache.hits, cache.misses)
+    (
+        snap_trace::well_known::COMPILE_CACHE_HITS.get(),
+        snap_trace::well_known::COMPILE_CACHE_MISSES.get(),
+    )
 }
 
 /// Evaluation context: visible bindings plus the empty-slot argument

@@ -18,6 +18,7 @@ pub fn parallel_map(
     items: Vec<Value>,
     workers: usize,
 ) -> Result<Vec<Value>, EvalError> {
+    let _span = snap_trace::span!("parallel_map", "items" => items.len());
     ring_map(
         ring,
         items,
@@ -38,6 +39,7 @@ pub fn map_reduce(
     items: Vec<Value>,
     workers: usize,
 ) -> Result<Vec<Value>, EvalError> {
+    let _span = snap_trace::span!("map_reduce", "items" => items.len());
     let options = RingMapOptions {
         workers,
         ..Default::default()

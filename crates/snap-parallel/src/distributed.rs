@@ -102,6 +102,9 @@ pub fn distributed_map(
     items: Vec<Value>,
     spec: &ClusterSpec,
 ) -> Result<DistributedOutcome, EvalError> {
+    snap_trace::well_known::DISTRIBUTED_MAPS.incr();
+    snap_trace::well_known::DISTRIBUTED_ITEMS.add(items.len() as u64);
+    let _span = snap_trace::span!("distributed_map", "items" => items.len());
     let f = PureFn::compile(ring)?;
     let nodes = spec.nodes.max(1);
     let total = items.len();

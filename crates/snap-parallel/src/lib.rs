@@ -31,4 +31,4 @@ pub mod shuffle;
 pub use backend::{install, install_with, WorkerBackend};
 pub use blocks::{map_reduce, parallel_for_each, parallel_map};
 pub use distributed::{distributed_map, strong_scaling_sweep, ClusterSpec, DistributedOutcome};
-pub use shuffle::{shuffle, shuffle_parallel, shuffle_seq};
+pub use shuffle::{shuffle, shuffle_parallel, shuffle_seq, PARALLEL_SHUFFLE_THRESHOLD};

@@ -13,10 +13,12 @@
 //! sequential stable sort exactly, and the grouping pass is unchanged.
 
 use snap_ast::Value;
+use snap_trace::well_known as metrics;
 use snap_workers::{default_workers, map_slice_with, ExecMode, Strategy};
 
 use std::hash::{Hash, Hasher};
 use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
 
 /// Below this many pairs the partition/merge overhead outweighs the
 /// parallel sort.
@@ -25,10 +27,12 @@ pub const PARALLEL_SHUFFLE_THRESHOLD: usize = 2048;
 /// Sort `[key, value]` pairs by key (stable, so mapper output order is
 /// preserved within a key) and group equal keys. Dispatches to the
 /// parallel path for inputs of [`PARALLEL_SHUFFLE_THRESHOLD`] pairs or
-/// more.
+/// more — with at least two buckets, so the threshold contract holds
+/// even on single-core hosts (where `default_workers()` is 1 and the
+/// pool simply oversubscribes).
 pub fn shuffle(pairs: Vec<(Value, Value)>) -> Vec<(Value, Vec<Value>)> {
     if pairs.len() >= PARALLEL_SHUFFLE_THRESHOLD {
-        shuffle_parallel(pairs, default_workers(), ExecMode::Pooled)
+        shuffle_parallel(pairs, default_workers().max(2), ExecMode::Pooled)
     } else {
         shuffle_seq(pairs)
     }
@@ -36,6 +40,9 @@ pub fn shuffle(pairs: Vec<(Value, Value)>) -> Vec<(Value, Vec<Value>)> {
 
 /// The sequential shuffle: one stable sort, one grouping pass.
 pub fn shuffle_seq(mut pairs: Vec<(Value, Value)>) -> Vec<(Value, Vec<Value>)> {
+    metrics::SHUFFLE_SEQ_RUNS.incr();
+    metrics::SHUFFLE_PAIRS.add(pairs.len() as u64);
+    let _span = snap_trace::span!("shuffle.seq", "pairs" => pairs.len());
     pairs.sort_by(|a, b| a.0.snap_cmp(&b.0));
     group_sorted(pairs)
 }
@@ -50,31 +57,45 @@ pub fn shuffle_parallel(
     if workers == 1 || pairs.len() <= 1 {
         return shuffle_seq(pairs);
     }
+    metrics::SHUFFLE_PARALLEL_RUNS.incr();
+    metrics::SHUFFLE_PAIRS.add(pairs.len() as u64);
+    let _span = snap_trace::span!("shuffle.parallel", "pairs" => pairs.len());
 
     // Partition by canonical key hash. snap_cmp-equal keys hash alike,
     // so every run of equal keys lands in exactly one bucket.
     let bucket_count = workers;
     let mut buckets: Vec<Vec<(Value, Value)>> = (0..bucket_count).map(|_| Vec::new()).collect();
-    for pair in pairs {
-        let slot = (canonical_key_hash(&pair.0) % bucket_count as u64) as usize;
-        buckets[slot].push(pair);
+    {
+        let _span = snap_trace::span!("shuffle.partition", workers);
+        for pair in pairs {
+            let slot = (canonical_key_hash(&pair.0) % bucket_count as u64) as usize;
+            buckets[slot].push(pair);
+        }
+    }
+    for bucket in &buckets {
+        metrics::SHUFFLE_PARTITION_SIZE.record(bucket.len() as u64);
     }
 
     // Stable-sort each bucket on the pool. Buckets are disjoint; the
     // per-bucket mutex is uncontended and only satisfies the shared-ref
     // signature of the parallel map.
     let buckets: Vec<Mutex<Vec<(Value, Value)>>> = buckets.into_iter().map(Mutex::new).collect();
-    map_slice_with(&buckets, workers, Strategy::Dynamic, exec, |bucket| {
-        bucket
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .sort_by(|a, b| a.0.snap_cmp(&b.0));
-    });
+    {
+        let _span = snap_trace::span!("shuffle.sort", workers);
+        map_slice_with(&buckets, workers, Strategy::Dynamic, exec, |bucket| {
+            bucket
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .sort_by(|a, b| a.0.snap_cmp(&b.0));
+        });
+    }
 
     // K-way merge. Heads from different buckets are never snap_cmp-equal
     // (equal keys share a bucket), so repeatedly taking the smallest head
     // — preferring the earliest bucket on the (impossible for
     // well-behaved keys) tie — reproduces the stable sort.
+    let merge_started = Instant::now();
+    let _merge_span = snap_trace::span!("shuffle.merge", "buckets" => buckets.len());
     let mut buckets: Vec<Vec<(Value, Value)>> = buckets
         .into_iter()
         .map(|bucket| bucket.into_inner().unwrap_or_else(PoisonError::into_inner))
@@ -105,6 +126,7 @@ pub fn shuffle_parallel(
         sorted.push(std::mem::take(&mut buckets[chosen][cursors[chosen]]));
         cursors[chosen] += 1;
     }
+    metrics::SHUFFLE_MERGE_NS.record(merge_started.elapsed().as_nanos() as u64);
     group_sorted(sorted)
 }
 

@@ -1,0 +1,81 @@
+//! The `shuffle` auto-dispatch threshold boundary.
+//!
+//! `shuffle` routes inputs of `PARALLEL_SHUFFLE_THRESHOLD` (2048) pairs
+//! or more through the parallel partition/sort/merge path and smaller
+//! inputs through the sequential stable sort. These tests pin the
+//! boundary: 2047/2048/2049 pairs must produce *identical* ordering on
+//! both paths, and the snap-trace counters must show the parallel path
+//! actually ran exactly when the threshold says so.
+
+use snap_ast::Value;
+use snap_parallel::{shuffle, shuffle_seq, PARALLEL_SHUFFLE_THRESHOLD};
+use snap_trace::well_known as metrics;
+
+/// Deterministic mixed-key workload with collisions: numbers, numeric
+/// text, and case-varied words — the key shapes `snap_cmp` treats
+/// loosely.
+fn mixed_pairs(n: usize) -> Vec<(Value, Value)> {
+    let words = ["alpha", "Beta", "beta", "GAMMA", "delta"];
+    (0..n)
+        .map(|i| {
+            let key = match i % 4 {
+                0 => Value::Number((i % 29) as f64),
+                1 => Value::text(format!("{}", i % 23)), // numeric text
+                2 => Value::text(words[i % words.len()]),
+                _ => Value::text(words[(i * 7) % words.len()].to_uppercase()),
+            };
+            (key, Value::Number(i as f64))
+        })
+        .collect()
+}
+
+/// One test (not three) so the global trace counters are read without
+/// interference from sibling tests running on other threads — this
+/// integration binary contains no other test.
+#[test]
+fn threshold_boundary_dispatch_and_ordering() {
+    assert_eq!(PARALLEL_SHUFFLE_THRESHOLD, 2048, "update the boundary");
+
+    // --- 2047: one below the threshold → sequential path ------------
+    let below = mixed_pairs(PARALLEL_SHUFFLE_THRESHOLD - 1);
+    let parallel_before = metrics::SHUFFLE_PARALLEL_RUNS.get();
+    let seq_before = metrics::SHUFFLE_SEQ_RUNS.get();
+    let dispatched = shuffle(below.clone());
+    assert_eq!(
+        metrics::SHUFFLE_PARALLEL_RUNS.get(),
+        parallel_before,
+        "2047 pairs must not take the parallel path"
+    );
+    assert_eq!(
+        metrics::SHUFFLE_SEQ_RUNS.get(),
+        seq_before + 1,
+        "2047 pairs must take the sequential path"
+    );
+    assert_eq!(dispatched, shuffle_seq(below), "2047: identical ordering");
+
+    // --- 2048: at the threshold → parallel path ---------------------
+    let at = mixed_pairs(PARALLEL_SHUFFLE_THRESHOLD);
+    let parallel_before = metrics::SHUFFLE_PARALLEL_RUNS.get();
+    let dispatched = shuffle(at.clone());
+    assert_eq!(
+        metrics::SHUFFLE_PARALLEL_RUNS.get(),
+        parallel_before + 1,
+        "2048 pairs must take the parallel path"
+    );
+    assert_eq!(dispatched, shuffle_seq(at), "2048: identical ordering");
+
+    // --- 2049: one above → parallel path ----------------------------
+    let above = mixed_pairs(PARALLEL_SHUFFLE_THRESHOLD + 1);
+    let parallel_before = metrics::SHUFFLE_PARALLEL_RUNS.get();
+    let dispatched = shuffle(above.clone());
+    assert_eq!(
+        metrics::SHUFFLE_PARALLEL_RUNS.get(),
+        parallel_before + 1,
+        "2049 pairs must take the parallel path"
+    );
+    assert_eq!(dispatched, shuffle_seq(above), "2049: identical ordering");
+
+    // Both paths see every pair: the pair counter advanced by at least
+    // the dispatched totals (shuffle_seq reference runs count too).
+    assert!(metrics::SHUFFLE_PAIRS.get() >= (2047 + 2048 + 2049) as u64);
+}

@@ -1,0 +1,149 @@
+//! Span exporters: Chrome `trace_event` JSON and JSONL.
+//!
+//! The Chrome format is the `chrome://tracing` / Perfetto "JSON object
+//! format": a top-level object with a `traceEvents` array of complete
+//! (`"ph":"X"`) events, timestamps and durations in **microseconds**.
+//! JSONL is one flat JSON object per line, nanosecond-precision, for
+//! ad-hoc analysis with line-oriented tools.
+//!
+//! snap-trace is dependency-free, so the JSON is written by hand; span
+//! names and argument keys are `&'static str` identifiers but are
+//! escaped anyway so arbitrary names stay well-formed.
+
+use std::fmt::Write as _;
+
+use crate::span::SpanEvent;
+
+/// Escape a string for inclusion in a JSON string literal.
+pub(crate) fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_event(event: &SpanEvent, out: &mut String) {
+    out.push_str("{\"name\":\"");
+    escape_json(event.name, out);
+    // Complete events; timestamps in microseconds with fractional
+    // nanoseconds, as the trace_event spec allows.
+    let _ = write!(
+        out,
+        "\",\"cat\":\"snap\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}",
+        event.tid,
+        event.start_ns as f64 / 1_000.0,
+        event.dur_ns as f64 / 1_000.0,
+    );
+    if let Some((key, value)) = event.arg {
+        out.push_str(",\"args\":{\"");
+        escape_json(key, out);
+        let _ = write!(out, "\":{value}}}");
+    }
+    out.push('}');
+}
+
+/// Render spans as a Chrome `trace_event` JSON document, loadable in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(spans.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, event) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_event(event, &mut out);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Render spans as JSONL: one object per line with nanosecond fields
+/// `name`, `tid`, `start_ns`, `dur_ns`, and optionally `arg_key` /
+/// `arg_value`.
+pub fn spans_jsonl(spans: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(spans.len() * 96);
+    for event in spans {
+        out.push_str("{\"name\":\"");
+        escape_json(event.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"tid\":{},\"start_ns\":{},\"dur_ns\":{}",
+            event.tid, event.start_ns, event.dur_ns
+        );
+        if let Some((key, value)) = event.arg {
+            out.push_str(",\"arg_key\":\"");
+            escape_json(key, &mut out);
+            let _ = write!(out, "\",\"arg_value\":{value}");
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                name: "ring_map",
+                tid: 1,
+                start_ns: 1_500,
+                dur_ns: 2_000_000,
+                arg: Some(("len", 10_000)),
+            },
+            SpanEvent {
+                name: "shuffle.merge",
+                tid: 2,
+                start_ns: 2_000_000,
+                dur_ns: 500,
+                arg: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_has_required_fields() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"ring_map\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2000.000"));
+        assert!(json.contains("\"args\":{\"len\":10000}"));
+        assert!(json.contains("\"name\":\"shuffle.merge\""));
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_document() {
+        let json = chrome_trace_json(&[]);
+        assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let jsonl = spans_jsonl(&sample());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"start_ns\":1500"));
+        assert!(lines[0].contains("\"arg_key\":\"len\""));
+        assert!(lines[1].ends_with('}'));
+    }
+
+    #[test]
+    fn escaping_keeps_json_well_formed() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,568 @@
+//! Counters, gauges, and histograms behind the global registry.
+//!
+//! Every metric is a plain atomic: updates are one relaxed RMW with no
+//! locking on any hot path. The well-known runtime metrics (pool, ring
+//! map, compile cache, shuffle, VM) are `static`s so call sites pay no
+//! lookup at all; ad-hoc metrics can be interned at runtime through
+//! [`counter`] / [`gauge`] / [`histogram`], which hand back `&'static`
+//! references from a leak-once registry.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// A monotonically increasing event count.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter (const, so counters can be `static`).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, live worker counts).
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        #[cfg(feature = "enabled")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn decr(&self) {
+        self.add(-1);
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, n: i64) {
+        #[cfg(feature = "enabled")]
+        self.value.store(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two bucket count: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))`, with bucket 0 also absorbing zero.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A lock-free histogram over `u64` samples (nanoseconds, sizes, …)
+/// with power-of-two buckets plus exact count/sum/min/max.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, sample: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            let bucket = (64 - sample.leading_zeros() as usize).saturating_sub(1);
+            self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(sample, Ordering::Relaxed);
+            self.min.fetch_min(sample, Ordering::Relaxed);
+            self.max.fetch_max(sample, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = sample;
+    }
+
+    /// A point-in-time copy of the histogram's summary statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name: self.name,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Frozen view of a [`Histogram`], safe to serialize.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// The metric name.
+    pub name: &'static str,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Per-power-of-two bucket counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-worker executed-job counters with a fixed capacity, readable
+/// without any lock.
+///
+/// This replaces the seed's `Mutex<Vec<Arc<AtomicU64>>>` in
+/// `WorkerPool`: slots are allocated once at construction, each worker
+/// claims the next slot at spawn time ([`WorkerCounters::add_worker`]),
+/// and [`WorkerCounters::snapshot`] is a read-only pass over the live
+/// prefix — no mutex on the read path, no allocation on the hot path.
+#[derive(Debug)]
+pub struct WorkerCounters {
+    slots: Box<[AtomicU64]>,
+    live: AtomicUsize,
+}
+
+impl WorkerCounters {
+    /// Allocate `capacity` zeroed slots.
+    pub fn new(capacity: usize) -> WorkerCounters {
+        WorkerCounters {
+            slots: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            live: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claim the next worker slot, returning its id. Panics if the
+    /// capacity chosen at construction is exhausted.
+    pub fn add_worker(&self) -> usize {
+        let id = self.live.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            id < self.slots.len(),
+            "WorkerCounters capacity ({}) exhausted",
+            self.slots.len()
+        );
+        id
+    }
+
+    /// Count one executed job for worker `id`.
+    #[inline]
+    pub fn incr(&self, id: usize) {
+        self.slots[id].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of live (claimed) worker slots.
+    pub fn workers(&self) -> usize {
+        self.live.load(Ordering::Relaxed).min(self.slots.len())
+    }
+
+    /// Jobs executed so far, per live worker — a lock-free read.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.slots[..self.workers()]
+            .iter()
+            .map(|slot| slot.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total jobs executed across all workers.
+    pub fn total(&self) -> u64 {
+        self.snapshot().iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Well-known runtime metrics
+// ---------------------------------------------------------------------
+
+/// The well-known metrics every runtime crate reports into. Call sites
+/// use these statics directly (zero lookup cost); [`known_counters`]
+/// and friends enumerate them for reports and exporters.
+pub mod well_known {
+    use super::{Counter, Gauge, Histogram};
+
+    /// Jobs submitted to the worker pool (accepted sends).
+    pub static POOL_JOBS_SUBMITTED: Counter = Counter::new("pool.jobs_submitted");
+    /// Jobs completed by pool workers.
+    pub static POOL_JOBS_EXECUTED: Counter = Counter::new("pool.jobs_executed");
+    /// Jobs the pool refused (shutdown race) that ran inline instead.
+    pub static POOL_JOBS_REFUSED: Counter = Counter::new("pool.jobs_refused");
+    /// Jobs currently queued or running on the pool.
+    pub static POOL_QUEUE_DEPTH: Gauge = Gauge::new("pool.queue_depth");
+    /// Worker threads spawned (all pools).
+    pub static POOL_WORKERS_SPAWNED: Counter = Counter::new("pool.workers_spawned");
+
+    /// `run_tasks` invocations that went through the pooled mode.
+    pub static EXEC_POOLED_CALLS: Counter = Counter::new("exec.pooled_calls");
+    /// `run_tasks` invocations that spawned per-call threads.
+    pub static EXEC_SPAWN_CALLS: Counter = Counter::new("exec.spawn_calls");
+    /// Re-entrant pooled calls that ran inline to avoid deadlock.
+    pub static EXEC_REENTRANT_INLINE: Counter = Counter::new("exec.reentrant_inline");
+    /// Dynamic-scheduling chunks claimed via `fetch_add`.
+    pub static EXEC_CHUNKS_CLAIMED: Counter = Counter::new("exec.chunks_claimed");
+
+    /// `ring_map` / `ring_reduce_groups` calls.
+    pub static RING_MAP_CALLS: Counter = Counter::new("ring_map.calls");
+    /// Items shipped through ring maps.
+    pub static RING_MAP_ITEMS: Counter = Counter::new("ring_map.items");
+
+    /// Ring compile-cache hits.
+    pub static COMPILE_CACHE_HITS: Counter = Counter::new("compile_cache.hits");
+    /// Ring compile-cache misses (fresh compiles).
+    pub static COMPILE_CACHE_MISSES: Counter = Counter::new("compile_cache.misses");
+
+    /// Shuffles that took the sequential path.
+    pub static SHUFFLE_SEQ_RUNS: Counter = Counter::new("shuffle.seq_runs");
+    /// Shuffles that took the parallel (partition/sort/merge) path.
+    pub static SHUFFLE_PARALLEL_RUNS: Counter = Counter::new("shuffle.parallel_runs");
+    /// Pairs shuffled (both paths).
+    pub static SHUFFLE_PAIRS: Counter = Counter::new("shuffle.pairs");
+    /// Size of each hash partition in the parallel shuffle.
+    pub static SHUFFLE_PARTITION_SIZE: Histogram = Histogram::new("shuffle.partition_size");
+    /// Wall-time of the parallel shuffle's k-way merge, nanoseconds.
+    pub static SHUFFLE_MERGE_NS: Histogram = Histogram::new("shuffle.merge_ns");
+
+    /// Simulated-cluster distributed maps.
+    pub static DISTRIBUTED_MAPS: Counter = Counter::new("distributed.maps");
+    /// Items run through the simulated cluster.
+    pub static DISTRIBUTED_ITEMS: Counter = Counter::new("distributed.items");
+
+    /// VM frames executed (`step_frame` calls, stolen or not).
+    pub static VM_FRAMES: Counter = Counter::new("vm.frames");
+    /// VM frames consumed by the interference model.
+    pub static VM_FRAMES_STOLEN: Counter = Counter::new("vm.frames_stolen");
+    /// Processes spawned (green flag, broadcasts, clones, scripts).
+    pub static VM_PROCESSES_SPAWNED: Counter = Counter::new("vm.processes_spawned");
+    /// Live processes in the most recently stepped VM.
+    pub static VM_LIVE_PROCESSES: Gauge = Gauge::new("vm.live_processes");
+}
+
+/// Every well-known counter, for enumeration by reports.
+pub fn known_counters() -> [&'static Counter; 18] {
+    use well_known::*;
+    [
+        &POOL_JOBS_SUBMITTED,
+        &POOL_JOBS_EXECUTED,
+        &POOL_JOBS_REFUSED,
+        &POOL_WORKERS_SPAWNED,
+        &EXEC_POOLED_CALLS,
+        &EXEC_SPAWN_CALLS,
+        &EXEC_REENTRANT_INLINE,
+        &EXEC_CHUNKS_CLAIMED,
+        &RING_MAP_CALLS,
+        &RING_MAP_ITEMS,
+        &COMPILE_CACHE_HITS,
+        &COMPILE_CACHE_MISSES,
+        &SHUFFLE_SEQ_RUNS,
+        &SHUFFLE_PARALLEL_RUNS,
+        &SHUFFLE_PAIRS,
+        &DISTRIBUTED_MAPS,
+        &DISTRIBUTED_ITEMS,
+        &VM_PROCESSES_SPAWNED,
+    ]
+}
+
+/// Every well-known gauge.
+pub fn known_gauges() -> [&'static Gauge; 2] {
+    use well_known::*;
+    [&POOL_QUEUE_DEPTH, &VM_LIVE_PROCESSES]
+}
+
+/// Every well-known histogram.
+pub fn known_histograms() -> [&'static Histogram; 2] {
+    use well_known::*;
+    [&SHUFFLE_PARTITION_SIZE, &SHUFFLE_MERGE_NS]
+}
+
+/// The VM frame counters, exported separately so reports can show the
+/// scheduler section even when no parallel work ran.
+pub fn vm_counters() -> [&'static Counter; 2] {
+    use well_known::*;
+    [&VM_FRAMES, &VM_FRAMES_STOLEN]
+}
+
+// ---------------------------------------------------------------------
+// Dynamic (interned) metrics
+// ---------------------------------------------------------------------
+
+struct DynamicRegistry {
+    counters: Vec<&'static Counter>,
+    gauges: Vec<&'static Gauge>,
+    histograms: Vec<&'static Histogram>,
+}
+
+static DYNAMIC: OnceLock<Mutex<DynamicRegistry>> = OnceLock::new();
+
+fn dynamic() -> &'static Mutex<DynamicRegistry> {
+    DYNAMIC.get_or_init(|| {
+        Mutex::new(DynamicRegistry {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        })
+    })
+}
+
+/// Intern a counter by name: repeated calls with the same name return
+/// the same `&'static Counter`. For hot paths prefer holding the
+/// reference (or use a well-known static).
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = dynamic().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(existing) = reg.counters.iter().find(|c| c.name == name) {
+        return existing;
+    }
+    let leaked: &'static Counter = Box::leak(Box::new(Counter::new(name)));
+    reg.counters.push(leaked);
+    leaked
+}
+
+/// Intern a gauge by name (see [`counter`]).
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = dynamic().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(existing) = reg.gauges.iter().find(|g| g.name == name) {
+        return existing;
+    }
+    let leaked: &'static Gauge = Box::leak(Box::new(Gauge::new(name)));
+    reg.gauges.push(leaked);
+    leaked
+}
+
+/// Intern a histogram by name (see [`counter`]).
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = dynamic().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(existing) = reg.histograms.iter().find(|h| h.name == name) {
+        return existing;
+    }
+    let leaked: &'static Histogram = Box::leak(Box::new(Histogram::new(name)));
+    reg.histograms.push(leaked);
+    leaked
+}
+
+/// Dynamically interned counters, for report enumeration.
+pub fn dynamic_counters() -> Vec<&'static Counter> {
+    dynamic()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .counters
+        .clone()
+}
+
+/// Dynamically interned gauges, for report enumeration.
+pub fn dynamic_gauges() -> Vec<&'static Gauge> {
+    dynamic()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .gauges
+        .clone()
+}
+
+/// Dynamically interned histograms, for report enumeration.
+pub fn dynamic_histograms() -> Vec<&'static Histogram> {
+    dynamic()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .histograms
+        .clone()
+}
+
+// ---------------------------------------------------------------------
+// Global-pool worker counters
+// ---------------------------------------------------------------------
+
+static GLOBAL_WORKERS: OnceLock<std::sync::Arc<WorkerCounters>> = OnceLock::new();
+
+/// Register the process-wide pool's per-worker counters so reports can
+/// show utilization. First registration wins; later calls return the
+/// already-registered set (the global pool is created once).
+pub fn register_global_workers(counters: std::sync::Arc<WorkerCounters>) {
+    let _ = GLOBAL_WORKERS.set(counters);
+}
+
+/// The process-wide pool's per-worker counters, if a pool exists yet.
+pub fn global_workers() -> Option<std::sync::Arc<WorkerCounters>> {
+    GLOBAL_WORKERS.get().cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_up() {
+        static C: Counter = Counter::new("test.counter");
+        let before = C.get();
+        C.incr();
+        C.add(4);
+        assert_eq!(C.get(), before + 5);
+    }
+
+    #[test]
+    fn gauges_go_both_ways() {
+        static G: Gauge = Gauge::new("test.gauge");
+        G.set(0);
+        G.add(10);
+        G.decr();
+        assert_eq!(G.get(), 9);
+        G.add(-9);
+        assert_eq!(G.get(), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_summary_stats() {
+        static H: Histogram = Histogram::new("test.histogram");
+        for sample in [1u64, 2, 3, 1024] {
+            H.record(sample);
+        }
+        let snap = H.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 1030);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1024);
+        assert!((snap.mean() - 257.5).abs() < 1e-9);
+        // 1 → bucket 0; 2,3 → bucket 1; 1024 → bucket 10.
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 2);
+        assert_eq!(snap.buckets[10], 1);
+    }
+
+    #[test]
+    fn histogram_zero_sample_lands_in_bucket_zero() {
+        static H: Histogram = Histogram::new("test.histogram.zero");
+        H.record(0);
+        let snap = H.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.min, 0);
+    }
+
+    #[test]
+    fn interned_metrics_are_shared() {
+        let a = counter("test.dynamic.counter");
+        let b = counter("test.dynamic.counter");
+        assert!(std::ptr::eq(a, b));
+        a.incr();
+        assert!(b.get() >= 1);
+        assert!(dynamic_counters()
+            .iter()
+            .any(|c| c.name() == "test.dynamic.counter"));
+    }
+
+    #[test]
+    fn worker_counters_snapshot_without_locks() {
+        let workers = WorkerCounters::new(8);
+        let a = workers.add_worker();
+        let b = workers.add_worker();
+        workers.incr(a);
+        workers.incr(b);
+        workers.incr(b);
+        assert_eq!(workers.workers(), 2);
+        assert_eq!(workers.snapshot(), vec![1, 2]);
+        assert_eq!(workers.total(), 3);
+    }
+
+    #[test]
+    fn well_known_lists_are_consistent() {
+        for c in known_counters() {
+            assert!(!c.name().is_empty());
+        }
+        let names: Vec<_> = known_counters().iter().map(|c| c.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate well-known counter");
+    }
+}

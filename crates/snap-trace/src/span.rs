@@ -1,0 +1,288 @@
+//! Scoped wall-time spans recorded into per-thread buffers.
+//!
+//! A span is opened with [`span`] (or the [`crate::span!`] macro) and
+//! closed when its guard drops; the completed event goes into the
+//! calling thread's own buffer, so recording takes no shared lock. The
+//! buffers register themselves in a global list the exporters walk.
+//!
+//! Recording is off until [`set_enabled`]`(true)`: a disabled span is
+//! one relaxed atomic load and no clock read, so instrumented code left
+//! in place costs effectively nothing (the `enabled` cargo feature
+//! removes even that).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Hard cap on buffered events per thread; beyond it new events are
+/// counted as dropped rather than grow memory without bound.
+pub const MAX_EVENTS_PER_THREAD: usize = 1 << 16;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (`"ring_map"`, `"shuffle.merge"`, …).
+    pub name: &'static str,
+    /// Recording thread's trace id (dense, assigned at first span).
+    pub tid: u64,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Optional single argument, e.g. `("len", 10000)`.
+    pub arg: Option<(&'static str, u64)>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn span recording on or off at runtime. Counters and gauges are
+/// always live; only spans (which cost two clock reads and a buffer
+/// push each) are gated.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is span recording currently on?
+#[inline]
+pub fn enabled() -> bool {
+    cfg!(feature = "enabled") && ENABLED.load(Ordering::Relaxed)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+struct ThreadBuffer {
+    tid: u64,
+    events: Mutex<Vec<SpanEvent>>,
+    dropped: AtomicU64,
+}
+
+static BUFFERS: OnceLock<Mutex<Vec<Arc<ThreadBuffer>>>> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn buffers() -> &'static Mutex<Vec<Arc<ThreadBuffer>>> {
+    BUFFERS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<ThreadBuffer>>> = const { RefCell::new(None) };
+}
+
+fn with_local_buffer(f: impl FnOnce(&ThreadBuffer)) {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let buffer = slot.get_or_insert_with(|| {
+            let buffer = Arc::new(ThreadBuffer {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                events: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+            });
+            buffers()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(buffer.clone());
+            buffer
+        });
+        f(buffer);
+    });
+}
+
+/// An open span; records its event when dropped. Inert (and free) when
+/// recording was disabled at open time.
+#[must_use = "a span records nothing unless it lives across the timed region"]
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    name: &'static str,
+    arg: Option<(&'static str, u64)>,
+    start: Instant,
+    start_ns: u64,
+}
+
+/// Open a span covering the enclosing scope.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_inner(name, None)
+}
+
+/// Open a span with one `key = value` argument.
+#[inline]
+pub fn span_with(name: &'static str, key: &'static str, value: u64) -> SpanGuard {
+    span_inner(name, Some((key, value)))
+}
+
+#[inline]
+fn span_inner(name: &'static str, arg: Option<(&'static str, u64)>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { open: None };
+    }
+    let epoch = epoch();
+    let start = Instant::now();
+    SpanGuard {
+        open: Some(OpenSpan {
+            name,
+            arg,
+            start,
+            start_ns: start.duration_since(epoch).as_nanos() as u64,
+        }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        let dur_ns = open.start.elapsed().as_nanos() as u64;
+        with_local_buffer(|buffer| {
+            let mut events = buffer.events.lock().unwrap_or_else(PoisonError::into_inner);
+            if events.len() >= MAX_EVENTS_PER_THREAD {
+                buffer.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            events.push(SpanEvent {
+                name: open.name,
+                tid: buffer.tid,
+                start_ns: open.start_ns,
+                dur_ns,
+                arg: open.arg,
+            });
+        });
+    }
+}
+
+/// Open a span: `span!("name")` or `span!("ring_map", len)` (the
+/// argument's identifier becomes the key) or
+/// `span!("name", "key" => value)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $key:literal => $value:expr) => {
+        $crate::span_with($name, $key, $value as u64)
+    };
+    ($name:expr, $value:ident) => {
+        $crate::span_with($name, stringify!($value), $value as u64)
+    };
+}
+
+/// Copy out every buffered span, across all threads, ordered by start
+/// time. Buffers are left intact (see [`take_spans`]).
+pub fn collect_spans() -> Vec<SpanEvent> {
+    let buffers = buffers().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut all: Vec<SpanEvent> = buffers
+        .iter()
+        .flat_map(|b| {
+            b.events
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
+        })
+        .collect();
+    all.sort_by_key(|e| (e.start_ns, e.tid));
+    all
+}
+
+/// Drain every buffered span, across all threads, ordered by start
+/// time. Subsequent calls see only newly recorded spans.
+pub fn take_spans() -> Vec<SpanEvent> {
+    let buffers = buffers().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut all: Vec<SpanEvent> = buffers
+        .iter()
+        .flat_map(|b| std::mem::take(&mut *b.events.lock().unwrap_or_else(PoisonError::into_inner)))
+        .collect();
+    all.sort_by_key(|e| (e.start_ns, e.tid));
+    all
+}
+
+/// Spans dropped because a thread's buffer hit
+/// [`MAX_EVENTS_PER_THREAD`].
+pub fn dropped_spans() -> u64 {
+    buffers()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|b| b.dropped.load(Ordering::Relaxed))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The enable flag is process-global; tests that flip it take this
+    /// lock so the default parallel test runner cannot interleave them.
+    fn toggle_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = toggle_lock();
+        set_enabled(false);
+        {
+            let _s = span("test.disabled");
+        }
+        assert!(!collect_spans().iter().any(|e| e.name == "test.disabled"));
+    }
+
+    #[test]
+    fn enabled_spans_record_name_arg_and_duration() {
+        let _guard = toggle_lock();
+        set_enabled(true);
+        {
+            let _s = span_with("test.enabled", "len", 42);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        set_enabled(false);
+        let spans = collect_spans();
+        let ours = spans
+            .iter()
+            .find(|e| e.name == "test.enabled")
+            .expect("span recorded");
+        assert_eq!(ours.arg, Some(("len", 42)));
+        assert!(ours.dur_ns >= 1_000_000, "slept 1ms, got {}", ours.dur_ns);
+    }
+
+    #[test]
+    fn spans_from_worker_threads_are_collected() {
+        let _guard = toggle_lock();
+        set_enabled(true);
+        std::thread::spawn(|| {
+            let _s = span!("test.worker_thread");
+        })
+        .join()
+        .unwrap();
+        set_enabled(false);
+        assert!(collect_spans()
+            .iter()
+            .any(|e| e.name == "test.worker_thread"));
+    }
+
+    #[test]
+    fn span_macro_forms_compile() {
+        let _guard = toggle_lock();
+        set_enabled(true);
+        let len = 7usize;
+        {
+            let _a = span!("test.macro.plain");
+            let _b = span!("test.macro.ident", len);
+            let _c = span!("test.macro.kv", "items" => 3);
+        }
+        set_enabled(false);
+        let spans = collect_spans();
+        assert!(spans
+            .iter()
+            .any(|e| e.name == "test.macro.ident" && e.arg == Some(("len", 7))));
+        assert!(spans
+            .iter()
+            .any(|e| e.name == "test.macro.kv" && e.arg == Some(("items", 3))));
+    }
+}

@@ -233,6 +233,7 @@ impl Vm {
     fn spawn_process(&mut self, sprite: SpriteId, body: Arc<Vec<Stmt>>, scopes: ScopeStack) -> Pid {
         let pid = self.next_pid;
         self.next_pid += 1;
+        snap_trace::well_known::VM_PROCESSES_SPAWNED.incr();
         self.procs
             .push(Some(Process::with_scopes(pid, sprite, body, scopes)));
         pid
@@ -253,7 +254,15 @@ impl Vm {
     /// Run one frame: every runnable process gets a time slice, then the
     /// timestep advances. Returns `true` while any process remains.
     pub fn step_frame(&mut self) -> bool {
-        if !self.frame_stolen() {
+        snap_trace::well_known::VM_FRAMES.incr();
+        // One span per frame makes timestep-granular runs (the
+        // concession stand's 12-vs-3) readable on a trace timeline.
+        let _span = snap_trace::span!("vm.frame", "timestep" => self.timestep);
+        let stolen = self.frame_stolen();
+        if stolen {
+            snap_trace::well_known::VM_FRAMES_STOLEN.incr();
+        }
+        if !stolen {
             let mut i = 0;
             while i < self.procs.len() {
                 let Some(mut p) = self.procs[i].take() else {
@@ -281,12 +290,15 @@ impl Vm {
             self.procs.retain(Option::is_some);
         }
         self.timestep += 1;
+        snap_trace::well_known::VM_LIVE_PROCESSES.set(self.procs.len() as i64);
         !self.procs.is_empty()
     }
 
     /// Run frames until every process finishes or the frame budget is
     /// exhausted. Returns the number of frames executed.
     pub fn run_until_idle(&mut self) -> u64 {
+        let procs = self.process_count();
+        let _span = snap_trace::span!("vm.run_until_idle", procs);
         let mut frames = 0;
         while frames < self.config.max_frames {
             frames += 1;

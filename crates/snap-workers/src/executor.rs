@@ -21,6 +21,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use snap_trace::well_known as metrics;
+
 use crate::parallel::{default_workers, Strategy};
 use crate::pool::{on_pool_thread, WaitGroup, WorkerPool};
 
@@ -42,7 +44,13 @@ static GLOBAL_POOL: OnceLock<WorkerPool> = OnceLock::new();
 /// The process-wide pool, created on first use with
 /// [`default_workers`] threads.
 pub fn global_pool() -> &'static WorkerPool {
-    GLOBAL_POOL.get_or_init(|| WorkerPool::new(default_workers()))
+    GLOBAL_POOL.get_or_init(|| {
+        let pool = WorkerPool::new(default_workers());
+        // Let `snap_trace::report()` show the shared pool's per-worker
+        // utilization without reaching into this crate.
+        snap_trace::register_global_workers(pool.executed_counters());
+        pool
+    })
 }
 
 /// Dynamic-scheduling block size: ~4 blocks per worker, never zero.
@@ -68,6 +76,8 @@ pub fn run_tasks(tasks: usize, mode: ExecMode, body: &(dyn Fn(usize) + Sync)) {
     }
     match mode {
         ExecMode::SpawnPerCall => {
+            metrics::EXEC_SPAWN_CALLS.incr();
+            let _span = snap_trace::span!("exec.spawn_per_call", tasks);
             std::thread::scope(|scope| {
                 for w in 0..tasks {
                     scope.spawn(move || body(w));
@@ -79,11 +89,14 @@ pub fn run_tasks(tasks: usize, mode: ExecMode, body: &(dyn Fn(usize) + Sync)) {
                 // Re-entrant parallel call from inside a pooled job:
                 // submitting and blocking could deadlock on our own
                 // queue, so run inline.
+                metrics::EXEC_REENTRANT_INLINE.incr();
                 for w in 0..tasks {
                     body(w);
                 }
                 return;
             }
+            metrics::EXEC_POOLED_CALLS.incr();
+            let _span = snap_trace::span!("exec.pooled", tasks);
             let pool = global_pool();
             // Honour explicit oversubscription (latency-bound maps ask
             // for more workers than cores); growth is permanent, so the
@@ -186,7 +199,9 @@ pub fn map_slice_with<T: Send + Sync, R: Send>(
             if start >= len {
                 break;
             }
+            metrics::EXEC_CHUNKS_CLAIMED.incr();
             let end = (start + chunk).min(len);
+            let _span = snap_trace::span!("exec.chunk", "start" => start);
             for (i, item) in items[start..end].iter().enumerate() {
                 // SAFETY: fetch_add hands each block to one task.
                 unsafe { slots.write(start + i, f(item)) };
@@ -196,13 +211,17 @@ pub fn map_slice_with<T: Send + Sync, R: Send>(
             let block = len.div_ceil(workers);
             let start = (w * block).min(len);
             let end = ((w + 1) * block).min(len);
+            metrics::EXEC_CHUNKS_CLAIMED.incr();
+            let _span = snap_trace::span!("exec.chunk", "start" => start);
             for (i, item) in items[start..end].iter().enumerate() {
                 // SAFETY: static blocks are disjoint per task index.
                 unsafe { slots.write(start + i, f(item)) };
             }
         }
     };
+    let map_span = snap_trace::span!("exec.map_slice", len);
     run_tasks(workers, mode, &worker_body);
+    drop(map_span);
 
     out.into_iter()
         .map(|slot| slot.expect("every index processed exactly once"))

@@ -15,10 +15,11 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+
+use snap_trace::{well_known as metrics, WorkerCounters};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -64,8 +65,11 @@ pub struct WorkerPool {
     /// Kept so growth can hand the shared queue to new workers.
     rx: Arc<Mutex<Receiver<Job>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
-    /// Per-worker executed-job counters, index-aligned with `handles`.
-    executed: Mutex<Vec<Arc<AtomicU64>>>,
+    /// Per-worker executed-job counters. Slots are fixed at
+    /// construction ([`MAX_POOL_WORKERS`]); each worker claims its slot
+    /// at spawn time, so reads are a lock-free snapshot — the seed's
+    /// `Mutex<Vec<Arc<AtomicU64>>>` locked on every read.
+    executed: Arc<WorkerCounters>,
 }
 
 impl WorkerPool {
@@ -78,7 +82,7 @@ impl WorkerPool {
             tx: Some(tx),
             rx: Arc::new(Mutex::new(rx)),
             handles: Mutex::new(Vec::new()),
-            executed: Mutex::new(Vec::new()),
+            executed: Arc::new(WorkerCounters::new(MAX_POOL_WORKERS)),
         };
         pool.ensure_workers(workers.max(1));
         pool
@@ -90,12 +94,11 @@ impl WorkerPool {
         let target = target.clamp(1, MAX_POOL_WORKERS);
         let mut handles = self.handles.lock().unwrap_or_else(PoisonError::into_inner);
         while handles.len() < target {
-            let id = handles.len();
-            let counter = Arc::new(AtomicU64::new(0));
-            self.executed
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push(counter.clone());
+            // Claiming the slot under the handles lock keeps slot ids
+            // aligned with thread spawn order.
+            let id = self.executed.add_worker();
+            metrics::POOL_WORKERS_SPAWNED.incr();
+            let executed = self.executed.clone();
             let rx = self.rx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("snap-worker-{id}"))
@@ -109,11 +112,19 @@ impl WorkerPool {
                                 Err(_) => break, // channel closed: shut down
                             }
                         };
+                        // Count at dequeue time, not completion: waiters
+                        // wake the instant a job's completion token
+                        // drops (inside the job), so a post-job
+                        // increment could be read one short by a
+                        // quiescent observer. Counted-before-run, every
+                        // finished job is already in the totals.
+                        executed.incr(id);
+                        metrics::POOL_JOBS_EXECUTED.incr();
+                        metrics::POOL_QUEUE_DEPTH.decr();
                         // A panicking job must not kill the worker; the
                         // panic is surfaced to the submitter through
                         // whatever completion handle the job carries.
                         let _ = catch_unwind(AssertUnwindSafe(job));
-                        counter.fetch_add(1, Ordering::Relaxed);
                     }
                 })
                 .expect("failed to spawn worker thread");
@@ -133,20 +144,34 @@ impl WorkerPool {
     /// [`PoolClosed`] when the pool is shutting down (the job is returned
     /// to the heap and dropped, never silently run).
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolClosed> {
-        match self.tx.as_ref() {
+        let sent = match self.tx.as_ref() {
             Some(tx) => tx.send(Box::new(job)).map_err(|_| PoolClosed),
             None => Err(PoolClosed),
+        };
+        match sent {
+            Ok(()) => {
+                metrics::POOL_JOBS_SUBMITTED.incr();
+                // Jobs waiting in the channel; the worker decrements at
+                // dequeue (not completion) so a quiescent observer — one
+                // whose wait-group already released — never reads a
+                // stale nonzero depth.
+                metrics::POOL_QUEUE_DEPTH.incr();
+            }
+            Err(PoolClosed) => metrics::POOL_JOBS_REFUSED.incr(),
         }
+        sent
     }
 
-    /// Jobs executed so far, per worker.
+    /// Jobs executed so far, per worker — a lock-free snapshot.
     pub fn executed_per_worker(&self) -> Vec<u64> {
-        self.executed
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect()
+        self.executed.snapshot()
+    }
+
+    /// The pool's per-worker counter set, shareable with the trace
+    /// registry (the global pool registers its set so
+    /// `snap_trace::report()` can show worker utilization).
+    pub fn executed_counters(&self) -> Arc<WorkerCounters> {
+        self.executed.clone()
     }
 
     /// Run `n` independent jobs `job(i)` and block until all complete.
@@ -264,7 +289,7 @@ impl Drop for WaitToken {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn pool_runs_every_job_exactly_once() {

@@ -67,6 +67,10 @@ pub fn ring_map(
     items: Vec<Value>,
     options: RingMapOptions,
 ) -> Result<Vec<Value>, EvalError> {
+    let len = items.len();
+    snap_trace::well_known::RING_MAP_CALLS.incr();
+    snap_trace::well_known::RING_MAP_ITEMS.add(len as u64);
+    let _span = snap_trace::span!("ring_map", len);
     let f = compile_cached(&ring)?;
     let results = map_slice_with(
         &items,
@@ -121,6 +125,10 @@ pub fn ring_reduce_groups(
     groups: Vec<(Value, Vec<Value>)>,
     options: RingMapOptions,
 ) -> Result<Vec<Value>, EvalError> {
+    let len = groups.len();
+    snap_trace::well_known::RING_MAP_CALLS.incr();
+    snap_trace::well_known::RING_MAP_ITEMS.add(len as u64);
+    let _span = snap_trace::span!("ring_reduce_groups", len);
     let f = compile_cached(&ring)?;
     let results = map_slice_with(
         &groups,

@@ -8,9 +8,35 @@
 //!
 //! ```sh
 //! cargo run --example concession_stand
+//! cargo run --example concession_stand -- --trace target/concession_trace.json
 //! ```
+//!
+//! With `--trace <path>`, span recording is enabled and a Chrome
+//! `trace_event` JSON (loadable in `chrome://tracing` or Perfetto) is
+//! written to `<path>`, plus the run's `ExecutionReport` JSON to
+//! `<path>.report.json` — the 12-vs-3-timestep contrast on a timeline.
 
 use snap_core::prelude::*;
+
+/// `--trace <path>` argument, if present.
+fn trace_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Write the Chrome trace and the ExecutionReport JSON next to it.
+fn dump_trace(path: &str) {
+    let spans = snap_core::trace::collect_spans();
+    std::fs::write(path, snap_core::trace::chrome_trace_json(&spans)).expect("write trace");
+    let report_path = format!("{path}.report.json");
+    std::fs::write(&report_path, snap_core::trace::report().to_json()).expect("write report");
+    println!(
+        "\nwrote {} spans to {path} (report: {report_path})",
+        spans.len()
+    );
+}
 
 /// Build the concession-stand project in either mode.
 fn concession(parallel: bool) -> Project {
@@ -90,6 +116,10 @@ fn show_parallel_frames() {
 }
 
 fn main() {
+    let trace = trace_path();
+    if trace.is_some() {
+        snap_core::trace::set_enabled(true);
+    }
     println!("Concession stand: 3 cups, 3 timesteps per glass\n");
 
     let (seq_fills, seq_total) = run_mode("sequential mode (Fig. 10)", false);
@@ -133,4 +163,8 @@ fn main() {
 
     println!();
     show_parallel_frames();
+
+    if let Some(path) = trace {
+        dump_trace(&path);
+    }
 }

@@ -6,7 +6,12 @@
 //!
 //! ```sh
 //! cargo run --release --example word_count
+//! cargo run --release --example word_count -- --trace target/word_count_trace.json
 //! ```
+//!
+//! With `--trace <path>`, span recording is enabled; the run prints its
+//! `snap_trace::report()` table and writes a Chrome `trace_event` JSON
+//! to `<path>` plus the report JSON to `<path>.report.json`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -14,7 +19,19 @@ use std::time::Instant;
 use snap_core::data::{generate_words, reference_counts};
 use snap_core::prelude::*;
 
+/// `--trace <path>` argument, if present.
+fn trace_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 fn main() {
+    let trace = trace_path();
+    if trace.is_some() {
+        snap_core::trace::set_enabled(true);
+    }
     // --- Figure 11: word count as blocks ----------------------------
     let sentence = "the quick brown fox jumps over the lazy dog the end";
     let project = Project::new("word-count").with_sprite(SpriteDef::new("Counter").with_script(
@@ -78,4 +95,17 @@ fn main() {
         }
     }
     println!("all worker counts agree with the sequential reference");
+
+    if let Some(path) = trace {
+        let report = snap_core::trace::report();
+        println!("\n{}", report.to_table());
+        let spans = snap_core::trace::collect_spans();
+        std::fs::write(&path, snap_core::trace::chrome_trace_json(&spans)).expect("write trace");
+        let report_path = format!("{path}.report.json");
+        std::fs::write(&report_path, report.to_json()).expect("write report");
+        println!(
+            "wrote {} spans to {path} (report: {report_path})",
+            spans.len()
+        );
+    }
 }

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# The repo's CI gate, runnable locally: format, lint, tier-1 build+test.
-# Usage: scripts/ci.sh
+# The repo's CI gate, runnable locally: format, lint, tier-1 build+test,
+# then the tracing pipeline — run a traced example, validate the emitted
+# Chrome trace + ExecutionReport JSON. All generated reports go under
+# target/, never into the tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +17,18 @@ cargo build --release
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+mkdir -p target/ci
+echo "==> traced example: concession_stand --trace"
+cargo run --release --example concession_stand -- --trace target/ci/concession_trace.json \
+  > target/ci/concession_stand.txt
+
+echo "==> validate emitted trace + report JSON"
+cargo run --release -p bench --bin trace_check -- \
+  target/ci/concession_trace.json target/ci/concession_trace.json.report.json
+
+echo "==> experiment report (target/ci/report_output.txt)"
+cargo run --release -p bench --bin report > target/ci/report_output.txt
+tail -n 5 target/ci/report_output.txt
 
 echo "CI gate passed."
