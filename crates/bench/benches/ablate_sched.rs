@@ -51,5 +51,82 @@ fn bench_spawn_vs_pool(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_strategy, bench_spawn_vs_pool);
+fn bench_job_churn(c: &mut Criterion) {
+    // Small-chunk, high job-count workload: a burst of 16 consecutive
+    // tiny pooled maps per iteration, so per-job dequeue cost dominates.
+    // This is the path the work-stealing scheduler targets — under the
+    // old single shared queue every dequeue of every worker serialized
+    // on one receiver mutex. The 1-worker case guards the uncontended
+    // baseline against regression.
+    let mut group = c.benchmark_group("a1_job_churn");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(15);
+    group.measurement_time(Duration::from_secs(2));
+    let items: Vec<u64> = (0..64).collect();
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    for _ in 0..16 {
+                        black_box(map_slice_with(
+                            &items,
+                            workers,
+                            Strategy::Dynamic,
+                            ExecMode::Pooled,
+                            |&n| n.wrapping_mul(3),
+                        ));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_nested_latency(c: &mut Criterion) {
+    // Nested parallelism over latency-bound items: an outer pooled map
+    // whose per-item body is itself a pooled map over items that each
+    // wait on simulated I/O. Under the single-queue scheduler a
+    // re-entrant pooled call ran inline — serially — on the pool
+    // thread, so the inner waits accumulated one after another.
+    // Work-stealing pushes the nested jobs onto the worker's local
+    // deque where parked peers steal them, overlapping the waits.
+    // Latency-bound on purpose: overlap is measurable even on the
+    // 1-CPU reproduction host (see README "Host note").
+    let mut group = c.benchmark_group("a1_nested_latency");
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(15);
+    group.measurement_time(Duration::from_secs(3));
+    let outer: Vec<u64> = (0..2).collect();
+    group.bench_function("outer2_inner8", |b| {
+        b.iter(|| {
+            black_box(map_slice_with(
+                &outer,
+                8,
+                Strategy::Dynamic,
+                ExecMode::Pooled,
+                |&o| {
+                    let inner: Vec<u64> = (0..8).map(|i| o * 8 + i).collect();
+                    map_slice_with(&inner, 8, Strategy::Dynamic, ExecMode::Pooled, |&n| {
+                        std::thread::sleep(Duration::from_micros(200));
+                        n.wrapping_mul(3)
+                    })
+                    .iter()
+                    .sum::<u64>()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strategy,
+    bench_spawn_vs_pool,
+    bench_job_churn,
+    bench_nested_latency
+);
 criterion_main!(benches);

@@ -3,10 +3,14 @@
 //!
 //! ```sh
 //! cargo run -p bench --bin trace_check -- target/trace.json [target/trace.json.report.json]
+//! cargo run -p bench --bin trace_check -- --bench-json target/ci/BENCH_3.json
 //! ```
 //!
-//! Exits non-zero if a file is missing, fails to parse, lacks its
-//! required structure, or (for traces) contains malformed events.
+//! `--bench-json` instead validates a `scripts/bench.sh` baseline file
+//! (date, host_cpus, and a non-empty benches array of name/mean_ns/
+//! workers entries). Exits non-zero if a file is missing, fails to
+//! parse, lacks its required structure, or (for traces) contains
+//! malformed events.
 
 use std::process::ExitCode;
 
@@ -66,11 +70,54 @@ fn check_report(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn check_bench_json(path: &str) -> Result<(), String> {
+    let doc = parse_file(path)?;
+    let object = doc
+        .as_object()
+        .ok_or_else(|| format!("{path}: baseline is not an object"))?;
+    for field in ["date", "host_cpus", "benches"] {
+        if object.get(field).is_none() {
+            return Err(format!("{path}: baseline missing {field:?}"));
+        }
+    }
+    let benches = match object.get("benches") {
+        Some(Value::Array(benches)) if !benches.is_empty() => benches,
+        _ => return Err(format!("{path}: benches is not a non-empty array")),
+    };
+    for (i, bench) in benches.iter().enumerate() {
+        let entry = bench
+            .as_object()
+            .ok_or_else(|| format!("{path}: bench {i} is not an object"))?;
+        for field in ["name", "mean_ns", "workers"] {
+            if entry.get(field).is_none() {
+                return Err(format!("{path}: bench {i} missing {field:?}"));
+            }
+        }
+        match entry.get("mean_ns") {
+            Some(Value::Number(ns)) if ns.as_f64() > 0.0 => {}
+            _ => return Err(format!("{path}: bench {i} mean_ns is not positive")),
+        }
+    }
+    println!("{path}: OK — {} bench baselines", benches.len());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: trace_check <chrome-trace.json> [report.json ...]");
+        eprintln!(
+            "usage: trace_check <chrome-trace.json> [report.json ...] | --bench-json <BENCH.json>"
+        );
         return ExitCode::FAILURE;
+    }
+    if args[0] == "--bench-json" {
+        for path in &args[1..] {
+            if let Err(message) = check_bench_json(path) {
+                eprintln!("trace_check FAILED: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
     }
     for (i, path) in args.iter().enumerate() {
         let result = if i == 0 {

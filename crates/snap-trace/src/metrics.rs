@@ -281,10 +281,23 @@ pub mod well_known {
     pub static POOL_JOBS_EXECUTED: Counter = Counter::new("pool.jobs_executed");
     /// Jobs the pool refused (shutdown race) that ran inline instead.
     pub static POOL_JOBS_REFUSED: Counter = Counter::new("pool.jobs_refused");
+    /// Refused jobs that actually ran inline on the submitting thread —
+    /// the shutdown-race fallback, attributed so report totals
+    /// reconcile (inline runs are neither submitted nor executed).
+    pub static POOL_JOBS_INLINE: Counter = Counter::new("pool.jobs_inline");
     /// Jobs currently queued or running on the pool.
     pub static POOL_QUEUE_DEPTH: Gauge = Gauge::new("pool.queue_depth");
     /// Worker threads spawned (all pools).
     pub static POOL_WORKERS_SPAWNED: Counter = Counter::new("pool.workers_spawned");
+    /// Jobs a worker popped from its own deque (LIFO fast path).
+    pub static POOL_DEQUEUE_LOCAL: Counter = Counter::new("pool.dequeue_local");
+    /// Jobs dequeued from the shared injector.
+    pub static POOL_DEQUEUE_INJECTOR: Counter = Counter::new("pool.dequeue_injector");
+    /// Jobs stolen FIFO from another worker's deque.
+    pub static POOL_JOBS_STOLEN: Counter = Counter::new("pool.jobs_stolen");
+    /// Times a worker parked (slept on the wake condvar) when every
+    /// queue probe came up empty.
+    pub static POOL_WORKER_PARKS: Counter = Counter::new("pool.worker_parks");
 
     /// `run_tasks` invocations that went through the pooled mode.
     pub static EXEC_POOLED_CALLS: Counter = Counter::new("exec.pooled_calls");
@@ -332,13 +345,18 @@ pub mod well_known {
 }
 
 /// Every well-known counter, for enumeration by reports.
-pub fn known_counters() -> [&'static Counter; 18] {
+pub fn known_counters() -> [&'static Counter; 23] {
     use well_known::*;
     [
         &POOL_JOBS_SUBMITTED,
         &POOL_JOBS_EXECUTED,
         &POOL_JOBS_REFUSED,
+        &POOL_JOBS_INLINE,
         &POOL_WORKERS_SPAWNED,
+        &POOL_DEQUEUE_LOCAL,
+        &POOL_DEQUEUE_INJECTOR,
+        &POOL_JOBS_STOLEN,
+        &POOL_WORKER_PARKS,
         &EXEC_POOLED_CALLS,
         &EXEC_SPAWN_CALLS,
         &EXEC_REENTRANT_INLINE,

@@ -165,6 +165,19 @@ impl ExecutionReport {
                 self.executed_per_worker,
                 self.pool_jobs_executed_total()
             );
+            // The work-stealing scheduler's dequeue breakdown, next to
+            // the per-worker totals it explains: where each executed job
+            // was dequeued from, how often workers slept, and how many
+            // refused jobs ran inline on the submitter.
+            let _ = writeln!(
+                out,
+                "  scheduler: local={} injector={} stolen={} parks={} inline={}",
+                self.counter("pool.dequeue_local"),
+                self.counter("pool.dequeue_injector"),
+                self.counter("pool.jobs_stolen"),
+                self.counter("pool.worker_parks"),
+                self.counter("pool.jobs_inline"),
+            );
         }
         if !self.spans.is_empty() {
             out.push_str("  spans\n");

@@ -16,6 +16,12 @@
 //! * **Disjoint gather** — each claimed index is written straight into
 //!   its own result slot. Index ownership is exclusive by construction
 //!   (chunks partition the range), so no mutex guards the output.
+//!
+//! The pool itself schedules by work-stealing (see [`crate::pool`]): a
+//! call from a worker of the global pool pushes its task jobs onto that
+//! worker's own deque and *helps* run them while waiting, so nested
+//! `parallelMap`s parallelize instead of falling back to a serial
+//! inline loop.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -24,7 +30,7 @@ use std::sync::{Arc, OnceLock};
 use snap_trace::well_known as metrics;
 
 use crate::parallel::{default_workers, Strategy};
-use crate::pool::{on_pool_thread, WaitGroup, WorkerPool};
+use crate::pool::{on_pool_thread, Job, WaitGroup, WorkerPool};
 
 /// How a parallel call obtains its worker threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,19 +91,23 @@ pub fn run_tasks(tasks: usize, mode: ExecMode, body: &(dyn Fn(usize) + Sync)) {
             });
         }
         ExecMode::Pooled => {
-            if on_pool_thread() {
-                // Re-entrant parallel call from inside a pooled job:
-                // submitting and blocking could deadlock on our own
-                // queue, so run inline.
+            let pool = global_pool();
+            if on_pool_thread() && !pool.on_worker_thread() {
+                // Re-entrant parallel call from a worker of some *other*
+                // pool: we cannot help-drain a foreign pool's queues, so
+                // run inline rather than block one pool on another.
                 metrics::EXEC_REENTRANT_INLINE.incr();
                 for w in 0..tasks {
                     body(w);
                 }
                 return;
             }
+            // From a worker of the global pool itself, submissions land
+            // on this worker's own deque and the wait below helps run
+            // them (work-stealing), so nested calls parallelize instead
+            // of inlining serially.
             metrics::EXEC_POOLED_CALLS.incr();
             let _span = snap_trace::span!("exec.pooled", tasks);
-            let pool = global_pool();
             // Honour explicit oversubscription (latency-bound maps ask
             // for more workers than cores); growth is permanent, so the
             // steady state still spawns nothing.
@@ -108,34 +118,48 @@ pub fn run_tasks(tasks: usize, mode: ExecMode, body: &(dyn Fn(usize) + Sync)) {
 }
 
 fn run_scoped_on_pool(pool: &WorkerPool, tasks: usize, body: &(dyn Fn(usize) + Sync)) {
-    // SAFETY: the 'static lifetime is a lie told only to the job queue.
+    // SAFETY: the 'static lifetime is a lie told only to the job queues.
     // Every submitted job holds a WaitGroup token dropped when the job
     // finishes (including by panic, via catch_unwind), and we block on
-    // `wg.wait()` before returning, so no job can observe `body` after
-    // this frame is gone.
+    // the wait group before returning — `wait_helping` only returns
+    // between jobs, once the group is done, and every inline run below
+    // is wrapped in `catch_unwind` so no panic can unwind past the wait
+    // — so no job can observe `body` after this frame is gone.
     let body_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
     let wg = WaitGroup::new();
     let panicked = Arc::new(AtomicBool::new(false));
-    let mut refused = Vec::new();
-    for w in 0..tasks {
-        let token = wg.token();
-        let panicked = panicked.clone();
-        let submitted = pool.execute(move || {
-            let _token = token;
-            if catch_unwind(AssertUnwindSafe(|| body_static(w))).is_err() {
-                panicked.store(true, Ordering::SeqCst);
-            }
-        });
-        if submitted.is_err() {
-            // The refused closure (and its token) was dropped by the
-            // failed send; remember the index and run it inline below.
-            refused.push(w);
+    let run_inline = |w: usize| {
+        if catch_unwind(AssertUnwindSafe(|| body_static(w))).is_err() {
+            panicked.store(true, Ordering::SeqCst);
+        }
+    };
+    // The caller participates: tasks 1.. go to the pool in one batch
+    // (one queue lock, one wake-up for the whole scatter) while task 0
+    // runs right here — the thread that would otherwise sit in
+    // `wait_helping` claims chunks alongside the workers.
+    let batch: Vec<Job> = (1..tasks)
+        .zip(wg.tokens(tasks - 1))
+        .map(|(w, token)| {
+            let panicked = panicked.clone();
+            Box::new(move || {
+                let _token = token;
+                if catch_unwind(AssertUnwindSafe(|| body_static(w))).is_err() {
+                    panicked.store(true, Ordering::SeqCst);
+                }
+            }) as Job
+        })
+        .collect();
+    let refused = pool.execute_batch(batch).is_err();
+    run_inline(0);
+    if refused {
+        // The whole batch (and its tokens) was dropped by the refused
+        // submission (shutdown race); run every index inline.
+        for w in 1..tasks {
+            metrics::POOL_JOBS_INLINE.incr();
+            run_inline(w);
         }
     }
-    for w in refused {
-        body(w);
-    }
-    wg.wait();
+    pool.wait_helping(&wg);
     if panicked.load(Ordering::SeqCst) {
         resume_unwind(Box::new("a pooled parallel task panicked"));
     }

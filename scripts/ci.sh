@@ -31,4 +31,8 @@ echo "==> experiment report (target/ci/report_output.txt)"
 cargo run --release -p bench --bin report > target/ci/report_output.txt
 tail -n 5 target/ci/report_output.txt
 
+echo "==> bench smoke run (target/ci/BENCH_3.json)"
+scripts/bench.sh target/ci/BENCH_3.json
+cargo run --release -p bench --bin trace_check -- --bench-json target/ci/BENCH_3.json
+
 echo "CI gate passed."
