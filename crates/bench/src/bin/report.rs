@@ -111,6 +111,7 @@ fn e11() {
         compute_cost: 500,
         net_cost_per_item: 1,
         startup_cost: 2_000,
+        ..snap_parallel::ClusterSpec::default()
     };
     println!("  compute-heavy items (compute 500, net 1, startup 2000 / node):");
     let rows = snap_parallel::strong_scaling_sweep(

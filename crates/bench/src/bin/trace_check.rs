@@ -4,13 +4,20 @@
 //! ```sh
 //! cargo run -p bench --bin trace_check -- target/trace.json [target/trace.json.report.json]
 //! cargo run -p bench --bin trace_check -- --bench-json target/ci/BENCH_3.json
+//! cargo run -p bench --bin trace_check -- --bench-json target/ci/BENCH_3.json \
+//!     --baseline BENCH_3.json
 //! ```
 //!
 //! `--bench-json` instead validates a `scripts/bench.sh` baseline file
 //! (date, host_cpus, and a non-empty benches array of name/mean_ns/
-//! workers entries). Exits non-zero if a file is missing, fails to
-//! parse, lacks its required structure, or (for traces) contains
-//! malformed events.
+//! workers entries). With `--baseline`, the fresh run is additionally
+//! compared against the committed baseline: the gated benches
+//! (`a1_job_churn/1`, `a1_nested_latency/outer2_inner8`) fail the check
+//! when more than 25% slower than baseline, and the full comparison
+//! table is appended to `$GITHUB_STEP_SUMMARY` when that variable is
+//! set. Exits non-zero if a file is missing, fails to parse, lacks its
+//! required structure, regresses past the gate, or (for traces)
+//! contains malformed events.
 
 use std::process::ExitCode;
 
@@ -102,19 +109,143 @@ fn check_bench_json(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Benches whose regressions fail CI; everything else is informational.
+/// Both run single-job/low-worker shapes that are stable on small CI
+/// hosts, unlike the saturation benches that swing with core count.
+const GATED_BENCHES: &[&str] = &["a1_job_churn/1", "a1_nested_latency/outer2_inner8"];
+
+/// Regression tolerance for gated benches: fail when `current` is more
+/// than 25% slower than the committed baseline.
+const GATE_RATIO: f64 = 1.25;
+
+fn bench_means(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = parse_file(path)?;
+    let benches = match doc.as_object().and_then(|o| o.get("benches")) {
+        Some(Value::Array(benches)) => benches,
+        _ => return Err(format!("{path}: no benches array")),
+    };
+    let mut means = Vec::with_capacity(benches.len());
+    for bench in benches {
+        let entry = bench
+            .as_object()
+            .ok_or_else(|| format!("{path}: bench entry is not an object"))?;
+        let name = entry
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: bench entry missing name"))?;
+        let mean = match entry.get("mean_ns") {
+            Some(Value::Number(ns)) => ns.as_f64(),
+            _ => return Err(format!("{path}: bench {name:?} missing mean_ns")),
+        };
+        means.push((name.to_string(), mean));
+    }
+    Ok(means)
+}
+
+/// Compare a fresh bench run against the committed baseline. Prints a
+/// markdown comparison table (also appended to `$GITHUB_STEP_SUMMARY`
+/// when set) and fails if any gated bench regressed past [`GATE_RATIO`].
+fn compare_bench_json(current_path: &str, baseline_path: &str) -> Result<(), String> {
+    let current = bench_means(current_path)?;
+    let baseline = bench_means(baseline_path)?;
+    let mut table = String::from(
+        "## Bench regression gate\n\n\
+         | bench | baseline ns | current ns | ratio | gate |\n\
+         |---|---:|---:|---:|---|\n",
+    );
+    let mut regressions = Vec::new();
+    for (name, base_ns) in &baseline {
+        let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
+            if GATED_BENCHES.contains(&name.as_str()) {
+                regressions.push(format!("{name}: missing from {current_path}"));
+            }
+            continue;
+        };
+        let ratio = cur_ns / base_ns;
+        let gated = GATED_BENCHES.contains(&name.as_str());
+        let verdict = match (gated, ratio > GATE_RATIO) {
+            (true, true) => "FAIL",
+            (true, false) => "pass",
+            (false, _) => "info",
+        };
+        if gated && ratio > GATE_RATIO {
+            regressions.push(format!(
+                "{name}: {cur_ns:.0}ns vs baseline {base_ns:.0}ns ({ratio:.2}x > {GATE_RATIO}x)"
+            ));
+        }
+        table.push_str(&format!(
+            "| {name} | {base_ns:.0} | {cur_ns:.0} | {ratio:.2}x | {verdict} |\n"
+        ));
+    }
+    println!("{table}");
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !summary_path.is_empty() {
+            use std::io::Write;
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&summary_path)
+            {
+                let _ = writeln!(file, "{table}");
+            }
+        }
+    }
+    if regressions.is_empty() {
+        println!(
+            "{current_path}: OK — no gated regression vs {baseline_path} ({} gated benches)",
+            GATED_BENCHES.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{current_path}: gated bench regression vs {baseline_path}: {}",
+            regressions.join("; ")
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: trace_check <chrome-trace.json> [report.json ...] | --bench-json <BENCH.json>"
+            "usage: trace_check <chrome-trace.json> [report.json ...] \
+             | --bench-json <BENCH.json> [--baseline <BENCH.json>]"
         );
         return ExitCode::FAILURE;
     }
     if args[0] == "--bench-json" {
-        for path in &args[1..] {
+        let mut paths: Vec<&str> = Vec::new();
+        let mut baseline: Option<&str> = None;
+        let mut rest = args[1..].iter();
+        while let Some(arg) = rest.next() {
+            if arg == "--baseline" {
+                match rest.next() {
+                    Some(path) => baseline = Some(path),
+                    None => {
+                        eprintln!("trace_check FAILED: --baseline requires a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                paths.push(arg);
+            }
+        }
+        for path in &paths {
             if let Err(message) = check_bench_json(path) {
                 eprintln!("trace_check FAILED: {message}");
                 return ExitCode::FAILURE;
+            }
+        }
+        if let Some(baseline) = baseline {
+            if let Err(message) = check_bench_json(baseline) {
+                eprintln!("trace_check FAILED: {message}");
+                return ExitCode::FAILURE;
+            }
+            for path in &paths {
+                if let Err(message) = compare_bench_json(path, baseline) {
+                    eprintln!("trace_check FAILED: {message}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         return ExitCode::SUCCESS;

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use snap_ast::{EvalError, Ring, Value};
 use snap_vm::{ParallelBackend, Vm};
-use snap_workers::{ExecMode, Isolation, RingMapOptions, Strategy};
+use snap_workers::{ExecMode, FaultPolicy, Isolation, RingMapOptions, Strategy};
 
 use crate::blocks;
 
@@ -21,6 +21,9 @@ pub struct WorkerBackend {
     pub isolation: Isolation,
     /// Pooled (default) or spawn-per-call execution.
     pub exec: ExecMode,
+    /// Fault policy applied to every block this backend runs. The
+    /// default reproduces the pre-fault-tolerance behaviour.
+    pub policy: FaultPolicy,
 }
 
 impl Default for WorkerBackend {
@@ -29,6 +32,7 @@ impl Default for WorkerBackend {
             strategy: Strategy::Dynamic,
             isolation: Isolation::Copy,
             exec: ExecMode::Pooled,
+            policy: FaultPolicy::default(),
         }
     }
 }
@@ -42,12 +46,19 @@ impl WorkerBackend {
         }
     }
 
+    /// Builder: run every block under `policy`.
+    pub fn with_policy(mut self, policy: FaultPolicy) -> WorkerBackend {
+        self.policy = policy;
+        self
+    }
+
     fn options(&self, workers: usize) -> RingMapOptions {
         RingMapOptions {
             workers,
             strategy: self.strategy,
             isolation: self.isolation,
             exec: self.exec,
+            policy: self.policy,
             ..Default::default()
         }
     }
@@ -60,7 +71,10 @@ impl ParallelBackend for WorkerBackend {
         items: Vec<Value>,
         workers: usize,
     ) -> Result<Vec<Value>, EvalError> {
-        snap_workers::ring_map(ring, items, self.options(workers))
+        // Route through the block layer so the backend inherits its
+        // degrade-to-sequential fault handling — a VM script never sees
+        // a worker panic, only a slower answer or a deadline error.
+        blocks::parallel_map_with_options(ring, items, self.options(workers))
     }
 
     fn map_reduce(
@@ -70,10 +84,7 @@ impl ParallelBackend for WorkerBackend {
         items: Vec<Value>,
         workers: usize,
     ) -> Result<Vec<Value>, EvalError> {
-        let options = self.options(workers);
-        let pairs = snap_workers::ring_map_pairs(mapper, items, options)?;
-        let groups = crate::shuffle::shuffle(pairs);
-        snap_workers::ring_reduce_groups(reducer, groups, options)
+        blocks::map_reduce_with_options(mapper, reducer, items, self.options(workers))
     }
 
     fn name(&self) -> &'static str {

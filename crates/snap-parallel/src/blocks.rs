@@ -3,13 +3,62 @@
 //! These are the semantics of the paper's three new blocks, exposed for
 //! embedding code and the benchmark harness. Scripts running inside the
 //! VM reach the same implementations through [`crate::WorkerBackend`].
+//!
+//! The blocks are the last rung of the fault-degradation ladder: when
+//! the pooled execution layer gives up (retry budget exhausted), a block
+//! never surfaces a panic — it re-runs the whole phase sequentially and
+//! injector-free on the calling thread (counted under
+//! `fault.degraded_runs`, recorded as a trace note). Deadline failures
+//! are the exception: a deadline is a promise to the caller, so they
+//! propagate as errors instead of being quietly absorbed by a slower
+//! sequential pass.
 
 use std::sync::Arc;
 
+use snap_ast::pure::compile_cached;
 use snap_ast::{EvalError, Ring, Value};
-use snap_workers::{ring_map, ring_map_pairs, ring_reduce_groups, RingMapOptions};
+use snap_workers::{
+    as_map_pair, ring_map_faulted, ring_map_pairs_faulted, ring_reduce_groups_faulted, ExecError,
+    FaultPolicy, RingMapError, RingMapOptions,
+};
 
 use crate::shuffle::shuffle;
+
+/// Record one block-level degradation to sequential execution.
+fn record_degraded(block: &'static str, err: &ExecError) {
+    snap_trace::well_known::FAULT_DEGRADED_RUNS.incr();
+    snap_trace::note(
+        "blocks.degraded",
+        format!("{block} degraded to sequential: {err}"),
+    );
+}
+
+/// Injector-free sequential map — the degraded path. Same structured
+/// clone semantics as the pooled Copy isolation.
+fn sequential_ring_map(ring: Arc<Ring>, items: &[Value]) -> Result<Vec<Value>, EvalError> {
+    let f = compile_cached(&ring)?;
+    items
+        .iter()
+        .map(|item| f.call1(item.deep_copy()).map(|v| v.deep_copy()))
+        .collect()
+}
+
+/// Injector-free sequential reduce over shuffled groups — the degraded
+/// path of the reduce phase.
+fn sequential_reduce_groups(
+    ring: Arc<Ring>,
+    groups: Vec<(Value, Vec<Value>)>,
+) -> Result<Vec<Value>, EvalError> {
+    let f = compile_cached(&ring)?;
+    groups
+        .into_iter()
+        .map(|(key, values)| {
+            let arg = Value::list(values.iter().map(Value::deep_copy).collect());
+            f.call1(arg)
+                .map(|reduced| Value::list(vec![key, reduced.deep_copy()]))
+        })
+        .collect()
+}
 
 /// `parallelMap <ring> over <list>` (paper §3.2): apply the ring to every
 /// item on `workers` true parallel workers; results in input order.
@@ -18,8 +67,7 @@ pub fn parallel_map(
     items: Vec<Value>,
     workers: usize,
 ) -> Result<Vec<Value>, EvalError> {
-    let _span = snap_trace::span!("parallel_map", "items" => items.len());
-    ring_map(
+    parallel_map_with_options(
         ring,
         items,
         RingMapOptions {
@@ -27,6 +75,50 @@ pub fn parallel_map(
             ..Default::default()
         },
     )
+}
+
+/// [`parallel_map`] under an explicit [`FaultPolicy`].
+pub fn parallel_map_with_policy(
+    ring: Arc<Ring>,
+    items: Vec<Value>,
+    workers: usize,
+    policy: FaultPolicy,
+) -> Result<Vec<Value>, EvalError> {
+    parallel_map_with_options(
+        ring,
+        items,
+        RingMapOptions {
+            workers,
+            policy,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`parallel_map`] with full execution options, including the fault
+/// policy. This is the fault-degradation rung: execution-layer failures
+/// other than a missed deadline fall back to a sequential injector-free
+/// map instead of surfacing.
+pub fn parallel_map_with_options(
+    ring: Arc<Ring>,
+    items: Vec<Value>,
+    options: RingMapOptions,
+) -> Result<Vec<Value>, EvalError> {
+    let _span = snap_trace::span!("parallel_map", "items" => items.len());
+    // Values are cheap (shallow) to clone; keep a copy so the degraded
+    // path can re-run the map after the pooled attempt consumed `items`.
+    let fallback = items.clone();
+    match ring_map_faulted(ring.clone(), items, options) {
+        Ok(out) => Ok(out),
+        Err(RingMapError::Eval(e)) => Err(e),
+        Err(RingMapError::Exec(e @ ExecError::DeadlineExceeded { .. })) => {
+            Err(EvalError::Other(e.to_string()))
+        }
+        Err(RingMapError::Exec(e)) => {
+            record_degraded("parallel_map", &e);
+            sequential_ring_map(ring, &fallback)
+        }
+    }
 }
 
 /// `mapReduce <mapper> <reducer> over <list>` (paper §3.4): parallel map
@@ -39,14 +131,75 @@ pub fn map_reduce(
     items: Vec<Value>,
     workers: usize,
 ) -> Result<Vec<Value>, EvalError> {
+    map_reduce_with_options(
+        mapper,
+        reducer,
+        items,
+        RingMapOptions {
+            workers,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`map_reduce`] under an explicit [`FaultPolicy`].
+pub fn map_reduce_with_policy(
+    mapper: Arc<Ring>,
+    reducer: Arc<Ring>,
+    items: Vec<Value>,
+    workers: usize,
+    policy: FaultPolicy,
+) -> Result<Vec<Value>, EvalError> {
+    map_reduce_with_options(
+        mapper,
+        reducer,
+        items,
+        RingMapOptions {
+            workers,
+            policy,
+            ..Default::default()
+        },
+    )
+}
+
+/// [`map_reduce`] with full execution options. Each phase degrades to
+/// its sequential path independently (a healthy reduce still runs
+/// pooled even when the map phase had to degrade).
+pub fn map_reduce_with_options(
+    mapper: Arc<Ring>,
+    reducer: Arc<Ring>,
+    items: Vec<Value>,
+    options: RingMapOptions,
+) -> Result<Vec<Value>, EvalError> {
     let _span = snap_trace::span!("map_reduce", "items" => items.len());
-    let options = RingMapOptions {
-        workers,
-        ..Default::default()
+    let fallback_items = items.clone();
+    let pairs = match ring_map_pairs_faulted(mapper.clone(), items, options) {
+        Ok(pairs) => pairs,
+        Err(RingMapError::Eval(e)) => return Err(e),
+        Err(RingMapError::Exec(e @ ExecError::DeadlineExceeded { .. })) => {
+            return Err(EvalError::Other(e.to_string()))
+        }
+        Err(RingMapError::Exec(e)) => {
+            record_degraded("map_reduce (map phase)", &e);
+            sequential_ring_map(mapper, &fallback_items)?
+                .into_iter()
+                .map(as_map_pair)
+                .collect::<Result<Vec<(Value, Value)>, EvalError>>()?
+        }
     };
-    let pairs = ring_map_pairs(mapper, items, options)?;
     let groups = shuffle(pairs);
-    ring_reduce_groups(reducer, groups, options)
+    let fallback_groups = groups.clone();
+    match ring_reduce_groups_faulted(reducer.clone(), groups, options) {
+        Ok(out) => Ok(out),
+        Err(RingMapError::Eval(e)) => Err(e),
+        Err(RingMapError::Exec(e @ ExecError::DeadlineExceeded { .. })) => {
+            Err(EvalError::Other(e.to_string()))
+        }
+        Err(RingMapError::Exec(e)) => {
+            record_degraded("map_reduce (reduce phase)", &e);
+            sequential_reduce_groups(reducer, fallback_groups)
+        }
+    }
 }
 
 /// `parallelForEach` over plain Rust data: run `f` once per item with

@@ -22,6 +22,7 @@
 use std::sync::Arc;
 
 use snap_ast::{EvalError, PureFn, Ring, Value};
+use snap_workers::FaultInjector;
 
 /// Cost model of the simulated cluster, in abstract cost units
 /// (think microseconds).
@@ -37,6 +38,16 @@ pub struct ClusterSpec {
     pub net_cost_per_item: u64,
     /// Fixed cost of involving a node at all (process launch, connect).
     pub startup_cost: u64,
+    /// Probability a node fails outright during the map. Its items are
+    /// reassigned round-robin to the survivors and re-transferred.
+    pub node_failure_p: f64,
+    /// Probability a surviving node straggles (runs slow).
+    pub straggler_p: f64,
+    /// Slowdown multiplier applied to a straggling node's compute.
+    pub straggler_factor: f64,
+    /// Seed for the deterministic failure/straggler draws — the same
+    /// seed always fails the same nodes.
+    pub fault_seed: u64,
 }
 
 impl Default for ClusterSpec {
@@ -47,6 +58,10 @@ impl Default for ClusterSpec {
             compute_cost: 100,
             net_cost_per_item: 5,
             startup_cost: 1_000,
+            node_failure_p: 0.0,
+            straggler_p: 0.0,
+            straggler_factor: 4.0,
+            fault_seed: 0x5eed,
         }
     }
 }
@@ -61,10 +76,20 @@ pub struct DistributedOutcome {
     pub makespan: u64,
     /// Modeled serialized transfer time at the master.
     pub master_net_time: u64,
-    /// Modeled per-node busy time (startup + compute waves).
+    /// Modeled per-node busy time (startup + compute waves; 0 for a
+    /// failed node — its paid startup is accounted at the master).
     pub per_node_time: Vec<u64>,
-    /// Items assigned per node.
+    /// Items assigned per node after reassignment (0 for failed nodes).
     pub per_node_items: Vec<usize>,
+    /// Nodes that failed their startup draw this run.
+    pub failed_nodes: usize,
+    /// Items re-sent to a survivor after their node failed.
+    pub reassigned_items: usize,
+    /// Straggling nodes that got a speculative backup execution.
+    pub speculative_runs: usize,
+    /// `true` when every node failed and the master ran the whole map
+    /// itself (the last rung of the degradation ladder).
+    pub degraded: bool,
 }
 
 impl DistributedOutcome {
@@ -97,6 +122,17 @@ pub fn node_time(spec: &ClusterSpec, items: usize) -> u64 {
 
 /// Run a ring over items on the simulated cluster: block-partition
 /// across nodes, evaluate for real, account modeled time.
+///
+/// Faults are part of the model: each node draws (deterministically
+/// under `spec.fault_seed`) whether it fails outright — its items are
+/// reassigned round-robin to the survivors, paying their transfer again
+/// at the master — and each survivor draws whether it straggles, in
+/// which case a speculative backup execution caps its effective time at
+/// `healthy time + startup` (the backup starts once the straggler is
+/// noticed). When *every* node fails, the run degrades: the master
+/// computes the whole map itself on one core, with no network cost.
+/// Results are always computed for real, in input order, whatever the
+/// modeled cluster does.
 pub fn distributed_map(
     ring: Arc<Ring>,
     items: Vec<Value>,
@@ -110,21 +146,112 @@ pub fn distributed_map(
     let total = items.len();
     let chunk = total.div_ceil(nodes).max(1);
 
+    // Results first, in input order — the simulation only models time,
+    // never which answers come back.
     let mut results = Vec::with_capacity(total);
-    let mut per_node_time = Vec::with_capacity(nodes);
-    let mut per_node_items = Vec::with_capacity(nodes);
-    for node in 0..nodes {
-        let start = node * chunk;
-        let end = ((node + 1) * chunk).min(total);
-        let share = end.saturating_sub(start);
-        per_node_items.push(share);
-        per_node_time.push(if share > 0 { node_time(spec, share) } else { 0 });
-        for item in &items[start.min(total)..end] {
-            // Network transfer = structured clone, like the worker pool.
-            results.push(f.call1(item.deep_copy())?.deep_copy());
-        }
+    for item in &items {
+        // Network transfer = structured clone, like the worker pool.
+        results.push(f.call1(item.deep_copy())?.deep_copy());
     }
-    let master_net_time = master_net_time(spec, total);
+
+    // Failure draws, deterministic per seed. The injector's pure
+    // (seed, key, attempt) hash is exactly the coin we need.
+    let failure_draw = FaultInjector::new(spec.fault_seed).panic_probability(spec.node_failure_p);
+    let straggler_draw = FaultInjector::new(spec.fault_seed).panic_probability(spec.straggler_p);
+    let failed: Vec<bool> = (0..nodes)
+        .map(|n| failure_draw.should_panic(n as u64, 0))
+        .collect();
+    let failed_nodes = failed.iter().filter(|&&f| f).count();
+
+    let mut per_node_items: Vec<usize> = (0..nodes)
+        .map(|node| {
+            let start = (node * chunk).min(total);
+            let end = ((node + 1) * chunk).min(total);
+            end - start
+        })
+        .collect();
+
+    if failed_nodes == nodes && total > 0 {
+        // Full-cluster failure: the master runs the map itself on one
+        // core. No scatter/gather — the data never left.
+        snap_trace::well_known::DIST_NODE_FAILURES.add(failed_nodes as u64);
+        snap_trace::well_known::DIST_DEGRADED_RUNS.incr();
+        snap_trace::note(
+            "distributed.degraded",
+            format!("all {nodes} node(s) failed; master ran {total} item(s) locally"),
+        );
+        let makespan = nodes as u64 * spec.startup_cost + total as u64 * spec.compute_cost;
+        return Ok(DistributedOutcome {
+            results,
+            makespan,
+            master_net_time: 0,
+            per_node_time: vec![0; nodes],
+            per_node_items: vec![0; nodes],
+            failed_nodes,
+            reassigned_items: 0,
+            speculative_runs: 0,
+            degraded: true,
+        });
+    }
+
+    // Reassign failed nodes' items round-robin across the survivors.
+    let mut reassigned_items = 0usize;
+    if failed_nodes > 0 && total > 0 {
+        snap_trace::well_known::DIST_NODE_FAILURES.add(failed_nodes as u64);
+        let survivors: Vec<usize> = (0..nodes).filter(|&n| !failed[n]).collect();
+        let mut turn = 0usize;
+        for node in 0..nodes {
+            if failed[node] {
+                let share = std::mem::take(&mut per_node_items[node]);
+                reassigned_items += share;
+                for _ in 0..share {
+                    per_node_items[survivors[turn % survivors.len()]] += 1;
+                    turn += 1;
+                }
+            }
+        }
+        snap_trace::well_known::DIST_ITEMS_REASSIGNED.add(reassigned_items as u64);
+        snap_trace::note(
+            "distributed.reassigned",
+            format!("{failed_nodes} node(s) failed; {reassigned_items} item(s) reassigned"),
+        );
+    }
+
+    // Per-node busy time: failed nodes contribute nothing (their wasted
+    // startup is charged to the master link below); stragglers run
+    // `straggler_factor` slow but a speculative backup caps the damage
+    // at healthy-time + one extra startup.
+    let mut speculative_runs = 0usize;
+    let per_node_time: Vec<u64> = (0..nodes)
+        .map(|node| {
+            let share = per_node_items[node];
+            if failed[node] || share == 0 {
+                return 0;
+            }
+            let healthy = node_time(spec, share);
+            if straggler_draw.should_panic(node as u64, 1) {
+                let compute = healthy - spec.startup_cost;
+                let straggled =
+                    spec.startup_cost + (compute as f64 * spec.straggler_factor.max(1.0)) as u64;
+                let speculative = healthy + spec.startup_cost;
+                if speculative < straggled {
+                    speculative_runs += 1;
+                    snap_trace::well_known::DIST_SPECULATIVE_RUNS.incr();
+                    return speculative;
+                }
+                return straggled;
+            }
+            healthy
+        })
+        .collect();
+
+    // Master link: every item crosses twice, reassigned items a second
+    // time (their first transfer was wasted on the failed node), and
+    // each failed node's startup was still paid before the failure was
+    // detected.
+    let master_net_time = master_net_time(spec, total)
+        + 2 * spec.net_cost_per_item * reassigned_items as u64
+        + failed_nodes as u64 * spec.startup_cost;
     let makespan = if total == 0 {
         0
     } else {
@@ -136,6 +263,10 @@ pub fn distributed_map(
         master_net_time,
         per_node_time,
         per_node_items,
+        failed_nodes,
+        reassigned_items,
+        speculative_runs,
+        degraded: false,
     })
 }
 
@@ -183,6 +314,7 @@ mod tests {
             net_cost_per_item: 1,
             startup_cost: 10,
             cores_per_node: 1,
+            ..ClusterSpec::default()
         };
         let items: Vec<Value> = (0..64).map(|n| Value::Number(n as f64)).collect();
         let one = distributed_map(times_ten(), items.clone(), &spec(1)).unwrap();
@@ -206,6 +338,7 @@ mod tests {
             net_cost_per_item: 500,
             startup_cost: 50_000,
             cores_per_node: 4,
+            ..ClusterSpec::default()
         };
         let items: Vec<Value> = (0..64).map(|n| Value::Number(n as f64)).collect();
         let rows = strong_scaling_sweep(times_ten(), items, &spec(1), &[1, 2, 4, 8, 16]).unwrap();
@@ -224,6 +357,7 @@ mod tests {
             net_cost_per_item: 1,
             startup_cost: 100_000,
             cores_per_node: 1,
+            ..ClusterSpec::default()
         };
         let items: Vec<Value> = (0..8).map(|n| Value::Number(n as f64)).collect();
         let rows = strong_scaling_sweep(times_ten(), items, &spec, &[1, 8]).unwrap();
@@ -263,6 +397,112 @@ mod tests {
     }
 
     #[test]
+    fn node_failures_reassign_items_and_keep_results_exact() {
+        let spec = ClusterSpec {
+            nodes: 8,
+            node_failure_p: 0.4,
+            fault_seed: 12345,
+            ..ClusterSpec::default()
+        };
+        let items: Vec<Value> = (1..=64).map(|n| Value::Number(n as f64)).collect();
+        let outcome = distributed_map(times_ten(), items, &spec).unwrap();
+        // With p=0.4 over 8 nodes under this seed, some but not all fail.
+        assert!(outcome.failed_nodes > 0, "seed must fail at least one node");
+        assert!(outcome.failed_nodes < 8, "seed must leave survivors");
+        assert!(outcome.reassigned_items > 0);
+        // Every item still computed, in order, despite the failures.
+        let expected: Vec<Value> = (1..=64).map(|n| Value::Number(n as f64 * 10.0)).collect();
+        assert_eq!(outcome.results, expected);
+        // Failed nodes hold no items; survivors hold them all.
+        assert_eq!(outcome.per_node_items.iter().sum::<usize>(), 64);
+        assert!(!outcome.degraded);
+    }
+
+    #[test]
+    fn failures_are_deterministic_per_seed() {
+        let spec = ClusterSpec {
+            nodes: 8,
+            node_failure_p: 0.4,
+            fault_seed: 777,
+            ..ClusterSpec::default()
+        };
+        let items: Vec<Value> = (0..16).map(|n| Value::Number(n as f64)).collect();
+        let a = distributed_map(times_ten(), items.clone(), &spec).unwrap();
+        let b = distributed_map(times_ten(), items, &spec).unwrap();
+        assert_eq!(a.failed_nodes, b.failed_nodes);
+        assert_eq!(a.per_node_items, b.per_node_items);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn full_cluster_failure_degrades_to_the_master() {
+        let spec = ClusterSpec {
+            nodes: 4,
+            node_failure_p: 1.0,
+            ..ClusterSpec::default()
+        };
+        let items: Vec<Value> = (1..=10).map(|n| Value::Number(n as f64)).collect();
+        let outcome = distributed_map(times_ten(), items, &spec).unwrap();
+        assert!(outcome.degraded);
+        assert_eq!(outcome.failed_nodes, 4);
+        let expected: Vec<Value> = (1..=10).map(|n| Value::Number(n as f64 * 10.0)).collect();
+        assert_eq!(outcome.results, expected, "degraded run still answers");
+        // Master pays every wasted startup plus one core's compute.
+        assert_eq!(
+            outcome.makespan,
+            4 * spec.startup_cost + 10 * spec.compute_cost
+        );
+    }
+
+    #[test]
+    fn failures_make_the_run_slower_than_a_clean_one() {
+        let clean = ClusterSpec {
+            nodes: 8,
+            cores_per_node: 1,
+            ..ClusterSpec::default()
+        };
+        let faulty = ClusterSpec {
+            node_failure_p: 0.4,
+            fault_seed: 12345,
+            ..clean
+        };
+        let items: Vec<Value> = (0..64).map(|n| Value::Number(n as f64)).collect();
+        let healthy = distributed_map(times_ten(), items.clone(), &clean).unwrap();
+        let recovered = distributed_map(times_ten(), items, &faulty).unwrap();
+        assert!(
+            recovered.makespan > healthy.makespan,
+            "retries must cost time: {} vs {}",
+            recovered.makespan,
+            healthy.makespan
+        );
+    }
+
+    #[test]
+    fn speculative_backup_caps_straggler_damage() {
+        // One node, always straggling, with a big slowdown: the
+        // speculative copy (healthy time + one startup) must win.
+        let spec = ClusterSpec {
+            nodes: 1,
+            cores_per_node: 1,
+            compute_cost: 1_000,
+            startup_cost: 100,
+            net_cost_per_item: 0,
+            straggler_p: 1.0,
+            straggler_factor: 10.0,
+            ..ClusterSpec::default()
+        };
+        let items: Vec<Value> = (0..16).map(|n| Value::Number(n as f64)).collect();
+        let outcome = distributed_map(times_ten(), items, &spec).unwrap();
+        assert_eq!(outcome.speculative_runs, 1);
+        let healthy = node_time(&spec, 16);
+        assert_eq!(
+            outcome.per_node_time[0],
+            healthy + spec.startup_cost,
+            "speculation caps the straggler at healthy + startup"
+        );
+    }
+
+    #[test]
     fn intra_node_cores_shorten_waves() {
         let base = ClusterSpec {
             nodes: 1,
@@ -270,6 +510,7 @@ mod tests {
             net_cost_per_item: 0,
             startup_cost: 0,
             cores_per_node: 1,
+            ..ClusterSpec::default()
         };
         assert_eq!(node_time(&base, 8), 800);
         let quad = ClusterSpec {

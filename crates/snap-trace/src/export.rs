@@ -12,7 +12,7 @@
 
 use std::fmt::Write as _;
 
-use crate::span::SpanEvent;
+use crate::span::{SpanEvent, TraceNote};
 
 /// Escape a string for inclusion in a JSON string literal.
 pub(crate) fn escape_json(s: &str, out: &mut String) {
@@ -54,13 +54,45 @@ fn push_event(event: &SpanEvent, out: &mut String) {
 /// Render spans as a Chrome `trace_event` JSON document, loadable in
 /// `chrome://tracing` or <https://ui.perfetto.dev>.
 pub fn chrome_trace_json(spans: &[SpanEvent]) -> String {
-    let mut out = String::with_capacity(spans.len() * 96 + 64);
+    chrome_trace_json_with_notes(spans, &[])
+}
+
+fn push_note(note: &TraceNote, out: &mut String) {
+    out.push_str("{\"name\":\"");
+    escape_json(note.name, out);
+    // Zero-duration complete events (rather than "ph":"i" instants) so
+    // every event in the document has the same field set; the fault
+    // message travels in args.
+    let _ = write!(
+        out,
+        "\",\"cat\":\"snap.fault\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":{:.3},\"dur\":0.000,\"args\":{{\"message\":\"",
+        note.ts_ns as f64 / 1_000.0,
+    );
+    escape_json(&note.message, out);
+    out.push_str("\"}}");
+}
+
+/// Render spans plus diagnostic notes (panic payloads, degradation
+/// records) as one Chrome `trace_event` JSON document. Notes appear as
+/// zero-duration events in the `snap.fault` category with the message
+/// in `args.message`, so a trace of a failing run is self-diagnosing.
+pub fn chrome_trace_json_with_notes(spans: &[SpanEvent], notes: &[TraceNote]) -> String {
+    let mut out = String::with_capacity(spans.len() * 96 + notes.len() * 128 + 64);
     out.push_str("{\"traceEvents\":[");
-    for (i, event) in spans.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for event in spans {
+        if !first {
             out.push(',');
         }
+        first = false;
         push_event(event, &mut out);
+    }
+    for note in notes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_note(note, &mut out);
     }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
@@ -128,6 +160,23 @@ mod tests {
     fn empty_trace_is_still_a_document() {
         let json = chrome_trace_json(&[]);
         assert_eq!(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+    }
+
+    #[test]
+    fn notes_export_as_fault_category_events() {
+        let notes = vec![TraceNote {
+            name: "pool.job_panic",
+            ts_ns: 3_000,
+            message: "panicked at \"boom\"".to_string(),
+        }];
+        let json = chrome_trace_json_with_notes(&sample(), &notes);
+        assert!(json.contains("\"cat\":\"snap.fault\""));
+        assert!(json.contains("\"name\":\"pool.job_panic\""));
+        assert!(json.contains("\"ts\":3.000"));
+        assert!(json.contains("\"dur\":0.000"));
+        assert!(json.contains("\"args\":{\"message\":\"panicked at \\\"boom\\\"\"}"));
+        // Every event still carries the same required field set.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
     }
 
     #[test]

@@ -42,13 +42,13 @@ pub mod metrics;
 pub mod report;
 pub mod span;
 
-pub use export::{chrome_trace_json, spans_jsonl};
+pub use export::{chrome_trace_json, chrome_trace_json_with_notes, spans_jsonl};
 pub use metrics::{
     counter, gauge, global_workers, histogram, register_global_workers, well_known, Counter, Gauge,
     Histogram, HistogramSnapshot, WorkerCounters,
 };
 pub use report::{report, ExecutionReport, SpanSummary};
 pub use span::{
-    collect_spans, dropped_spans, enabled, set_enabled, span, span_with, take_spans, SpanEvent,
-    SpanGuard,
+    collect_notes, collect_spans, dropped_notes, dropped_spans, enabled, note, set_enabled, span,
+    span_with, take_notes, take_spans, SpanEvent, SpanGuard, TraceNote,
 };

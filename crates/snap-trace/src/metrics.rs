@@ -298,6 +298,37 @@ pub mod well_known {
     /// Times a worker parked (slept on the wake condvar) when every
     /// queue probe came up empty.
     pub static POOL_WORKER_PARKS: Counter = Counter::new("pool.worker_parks");
+    /// Job attempts that panicked inside a worker (counted per attempt,
+    /// before any retry decision). Every panicked attempt is either
+    /// retried (`fault.retries_scheduled`) or final
+    /// (`fault.failures_final`), so the three always reconcile.
+    pub static POOL_JOBS_PANICKED: Counter = Counter::new("pool.jobs_panicked");
+
+    /// Panicked attempts granted another try by a `FaultPolicy`.
+    pub static FAULT_RETRIES_SCHEDULED: Counter = Counter::new("fault.retries_scheduled");
+    /// Panicked attempts whose retry budget was exhausted.
+    pub static FAULT_FAILURES_FINAL: Counter = Counter::new("fault.failures_final");
+    /// Parallel calls that gave up because their deadline passed.
+    pub static FAULT_DEADLINES_EXCEEDED: Counter = Counter::new("fault.deadlines_exceeded");
+    /// Panics provoked by the deterministic fault injector.
+    pub static FAULT_INJECTED_PANICS: Counter = Counter::new("fault.injected_panics");
+    /// Delays provoked by the deterministic fault injector.
+    pub static FAULT_INJECTED_DELAYS: Counter = Counter::new("fault.injected_delays");
+    /// Items salvaged by the post-parallel sequential reassignment pass
+    /// after their retry budget ran out on workers.
+    pub static FAULT_ITEMS_REASSIGNED: Counter = Counter::new("fault.items_reassigned");
+    /// Parallel blocks that degraded to the sequential path rather than
+    /// fail (retry exhaustion, pool shutdown, or a pooled panic).
+    pub static FAULT_DEGRADED_RUNS: Counter = Counter::new("fault.degraded_runs");
+
+    /// Simulated cluster nodes that failed mid-run.
+    pub static DIST_NODE_FAILURES: Counter = Counter::new("distributed.node_failures");
+    /// Items reassigned off failed simulated nodes onto survivors.
+    pub static DIST_ITEMS_REASSIGNED: Counter = Counter::new("distributed.items_reassigned");
+    /// Straggler items speculatively re-executed on a backup node.
+    pub static DIST_SPECULATIVE_RUNS: Counter = Counter::new("distributed.speculative_runs");
+    /// Distributed maps that fell back to the master (every node died).
+    pub static DIST_DEGRADED_RUNS: Counter = Counter::new("distributed.degraded_runs");
 
     /// `run_tasks` invocations that went through the pooled mode.
     pub static EXEC_POOLED_CALLS: Counter = Counter::new("exec.pooled_calls");
@@ -345,18 +376,26 @@ pub mod well_known {
 }
 
 /// Every well-known counter, for enumeration by reports.
-pub fn known_counters() -> [&'static Counter; 23] {
+pub fn known_counters() -> [&'static Counter; 35] {
     use well_known::*;
     [
         &POOL_JOBS_SUBMITTED,
         &POOL_JOBS_EXECUTED,
         &POOL_JOBS_REFUSED,
         &POOL_JOBS_INLINE,
+        &POOL_JOBS_PANICKED,
         &POOL_WORKERS_SPAWNED,
         &POOL_DEQUEUE_LOCAL,
         &POOL_DEQUEUE_INJECTOR,
         &POOL_JOBS_STOLEN,
         &POOL_WORKER_PARKS,
+        &FAULT_RETRIES_SCHEDULED,
+        &FAULT_FAILURES_FINAL,
+        &FAULT_DEADLINES_EXCEEDED,
+        &FAULT_INJECTED_PANICS,
+        &FAULT_INJECTED_DELAYS,
+        &FAULT_ITEMS_REASSIGNED,
+        &FAULT_DEGRADED_RUNS,
         &EXEC_POOLED_CALLS,
         &EXEC_SPAWN_CALLS,
         &EXEC_REENTRANT_INLINE,
@@ -370,6 +409,10 @@ pub fn known_counters() -> [&'static Counter; 23] {
         &SHUFFLE_PAIRS,
         &DISTRIBUTED_MAPS,
         &DISTRIBUTED_ITEMS,
+        &DIST_NODE_FAILURES,
+        &DIST_ITEMS_REASSIGNED,
+        &DIST_SPECULATIVE_RUNS,
+        &DIST_DEGRADED_RUNS,
         &VM_PROCESSES_SPAWNED,
     ]
 }

@@ -13,7 +13,7 @@ use crate::metrics::{
     dynamic_counters, dynamic_gauges, dynamic_histograms, global_workers, known_counters,
     known_gauges, known_histograms, vm_counters, HistogramSnapshot,
 };
-use crate::span::{collect_spans, dropped_spans};
+use crate::span::{collect_notes, collect_spans, dropped_spans};
 
 /// Aggregate of all recorded spans sharing one name.
 #[derive(Debug, Clone)]
@@ -44,6 +44,9 @@ pub struct ExecutionReport {
     pub spans: Vec<SpanSummary>,
     /// Spans lost to full thread buffers.
     pub dropped_spans: u64,
+    /// Diagnostic messages recorded by [`crate::note`] (panic payloads,
+    /// degradation reasons), as `name: message`, timestamp-ordered.
+    pub fault_messages: Vec<String>,
 }
 
 /// Snapshot the registry: counters, gauges, histograms, the global
@@ -98,6 +101,10 @@ pub fn report() -> ExecutionReport {
         executed_per_worker: global_workers().map(|w| w.snapshot()).unwrap_or_default(),
         spans: by_name,
         dropped_spans: dropped_spans(),
+        fault_messages: collect_notes()
+            .into_iter()
+            .map(|n| format!("{}: {}", n.name, n.message))
+            .collect(),
     }
 }
 
@@ -179,6 +186,40 @@ impl ExecutionReport {
                 self.counter("pool.jobs_inline"),
             );
         }
+        // The fault-tolerance line: every panicked attempt is either
+        // retried or final, so panicked == retries + final — a reader
+        // can check the reconciliation straight off the report.
+        let panicked = self.counter("pool.jobs_panicked");
+        let faulty = panicked > 0
+            || self.counter("fault.deadlines_exceeded") > 0
+            || self.counter("fault.degraded_runs") > 0
+            || self.counter("fault.injected_delays") > 0;
+        if faulty {
+            let _ = writeln!(
+                out,
+                "  faults: panicked={} retries={} final={} deadline={} \
+                 injected_panics={} injected_delays={} reassigned={} degraded={}",
+                panicked,
+                self.counter("fault.retries_scheduled"),
+                self.counter("fault.failures_final"),
+                self.counter("fault.deadlines_exceeded"),
+                self.counter("fault.injected_panics"),
+                self.counter("fault.injected_delays"),
+                self.counter("fault.items_reassigned"),
+                self.counter("fault.degraded_runs"),
+            );
+        }
+        if !self.fault_messages.is_empty() {
+            out.push_str("  fault messages (most recent last)\n");
+            // The tail is the interesting part of a long failure run.
+            let skip = self.fault_messages.len().saturating_sub(16);
+            if skip > 0 {
+                let _ = writeln!(out, "    … {skip} earlier message(s) elided");
+            }
+            for message in &self.fault_messages[skip..] {
+                let _ = writeln!(out, "    {message}");
+            }
+        }
         if !self.spans.is_empty() {
             out.push_str("  spans\n");
             for s in &self.spans {
@@ -255,7 +296,17 @@ impl ExecutionReport {
                 s.count, s.total_ns, s.max_ns
             );
         }
-        let _ = write!(out, "}},\"dropped_spans\":{}}}", self.dropped_spans);
+        let _ = write!(out, "}},\"dropped_spans\":{}", self.dropped_spans);
+        out.push_str(",\"fault_messages\":[");
+        for (i, message) in self.fault_messages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(message, &mut out);
+            out.push('"');
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -288,5 +339,22 @@ mod tests {
     #[test]
     fn absent_counter_reads_zero() {
         assert_eq!(report().counter("no.such.metric"), 0);
+    }
+
+    #[test]
+    fn fault_counters_and_messages_surface_in_renderings() {
+        well_known::POOL_JOBS_PANICKED.incr();
+        well_known::FAULT_RETRIES_SCHEDULED.incr();
+        crate::span::note("test.report_fault", "worker panic recorded");
+        let report = report();
+        assert!(report.counter("pool.jobs_panicked") >= 1);
+        let table = report.to_table();
+        assert!(table.contains("faults: panicked="));
+        assert!(table.contains("fault messages (most recent last)"));
+        assert!(table.contains("test.report_fault: worker panic recorded"));
+        let json = report.to_json();
+        assert!(json.contains("\"fault_messages\":["));
+        assert!(json.contains("test.report_fault: worker panic recorded"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -201,6 +201,91 @@ pub fn take_spans() -> Vec<SpanEvent> {
     all
 }
 
+// ---------------------------------------------------------------------
+// Trace notes — point-in-time diagnostics that carry a message
+// ---------------------------------------------------------------------
+
+/// Hard cap on buffered notes; failure diagnostics are rare, so hitting
+/// this means something is very wrong — later notes are counted as
+/// dropped rather than grow memory without bound.
+pub const MAX_NOTES: usize = 1024;
+
+/// A point-in-time diagnostic record. Unlike a [`SpanEvent`], a note has
+/// no duration and carries an owned message — the vehicle for panic
+/// payloads and degradation records, which must survive into the trace
+/// even though their text is only known at runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceNote {
+    /// Note name (`"pool.job_panic"`, `"blocks.degraded"`, …).
+    pub name: &'static str,
+    /// Nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// The diagnostic message (panic payload text, degradation reason).
+    pub message: String,
+}
+
+struct NoteBuffer {
+    notes: Mutex<Vec<TraceNote>>,
+    dropped: AtomicU64,
+}
+
+fn note_buffer() -> &'static NoteBuffer {
+    static NOTES: OnceLock<NoteBuffer> = OnceLock::new();
+    NOTES.get_or_init(|| NoteBuffer {
+        notes: Mutex::new(Vec::new()),
+        dropped: AtomicU64::new(0),
+    })
+}
+
+/// Record a diagnostic note. Notes are always on (failures are rare and
+/// the message is precious), independent of the span toggle; only the
+/// `enabled` cargo feature compiles them out.
+pub fn note(name: &'static str, message: impl Into<String>) {
+    if !cfg!(feature = "enabled") {
+        return;
+    }
+    let ts_ns = Instant::now().duration_since(epoch()).as_nanos() as u64;
+    let buffer = note_buffer();
+    let mut notes = buffer.notes.lock().unwrap_or_else(PoisonError::into_inner);
+    if notes.len() >= MAX_NOTES {
+        buffer.dropped.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    notes.push(TraceNote {
+        name,
+        ts_ns,
+        message: message.into(),
+    });
+}
+
+/// Copy out every buffered note, ordered by timestamp.
+pub fn collect_notes() -> Vec<TraceNote> {
+    let mut all = note_buffer()
+        .notes
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    all.sort_by_key(|n| n.ts_ns);
+    all
+}
+
+/// Drain every buffered note; later calls see only newly recorded ones.
+pub fn take_notes() -> Vec<TraceNote> {
+    let mut all = std::mem::take(
+        &mut *note_buffer()
+            .notes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner),
+    );
+    all.sort_by_key(|n| n.ts_ns);
+    all
+}
+
+/// Notes dropped because the buffer hit [`MAX_NOTES`].
+pub fn dropped_notes() -> u64 {
+    note_buffer().dropped.load(Ordering::Relaxed)
+}
+
 /// Spans dropped because a thread's buffer hit
 /// [`MAX_EVENTS_PER_THREAD`].
 pub fn dropped_spans() -> u64 {
@@ -264,6 +349,20 @@ mod tests {
         assert!(collect_spans()
             .iter()
             .any(|e| e.name == "test.worker_thread"));
+    }
+
+    #[test]
+    fn notes_record_messages_regardless_of_span_toggle() {
+        let _guard = toggle_lock();
+        set_enabled(false); // notes are independent of the span gate
+        note("test.note", "panicked at 'boom'");
+        let notes = collect_notes();
+        let ours = notes
+            .iter()
+            .find(|n| n.name == "test.note")
+            .expect("note recorded");
+        assert_eq!(ours.message, "panicked at 'boom'");
+        assert_eq!(dropped_notes(), 0);
     }
 
     #[test]

@@ -25,10 +25,12 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
 
 use snap_trace::well_known as metrics;
 
+use crate::fault::{injector, panic_message, ExecError, FaultPolicy};
 use crate::parallel::{default_workers, Strategy};
 use crate::pool::{on_pool_thread, Job, WaitGroup, WorkerPool};
 
@@ -117,6 +119,19 @@ pub fn run_tasks(tasks: usize, mode: ExecMode, body: &(dyn Fn(usize) + Sync)) {
     }
 }
 
+/// Count and trace a panic caught at the scoped-executor level. These
+/// jobs catch before the pool's own `run_job` guard can see the unwind,
+/// so the accounting lives here; the panic is re-raised to the caller
+/// after the wait, which makes it final (no retry budget on this path).
+fn record_task_panic(w: usize, payload: &(dyn std::any::Any + Send)) {
+    metrics::POOL_JOBS_PANICKED.incr();
+    metrics::FAULT_FAILURES_FINAL.incr();
+    snap_trace::note(
+        "exec.task_panic",
+        format!("task {w}: {}", crate::fault::panic_message(payload)),
+    );
+}
+
 fn run_scoped_on_pool(pool: &WorkerPool, tasks: usize, body: &(dyn Fn(usize) + Sync)) {
     // SAFETY: the 'static lifetime is a lie told only to the job queues.
     // Every submitted job holds a WaitGroup token dropped when the job
@@ -129,7 +144,8 @@ fn run_scoped_on_pool(pool: &WorkerPool, tasks: usize, body: &(dyn Fn(usize) + S
     let wg = WaitGroup::new();
     let panicked = Arc::new(AtomicBool::new(false));
     let run_inline = |w: usize| {
-        if catch_unwind(AssertUnwindSafe(|| body_static(w))).is_err() {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body_static(w))) {
+            record_task_panic(w, payload.as_ref());
             panicked.store(true, Ordering::SeqCst);
         }
     };
@@ -143,7 +159,8 @@ fn run_scoped_on_pool(pool: &WorkerPool, tasks: usize, body: &(dyn Fn(usize) + S
             let panicked = panicked.clone();
             Box::new(move || {
                 let _token = token;
-                if catch_unwind(AssertUnwindSafe(|| body_static(w))).is_err() {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body_static(w))) {
+                    record_task_panic(w, payload.as_ref());
                     panicked.store(true, Ordering::SeqCst);
                 }
             }) as Job
@@ -252,6 +269,209 @@ pub fn map_slice_with<T: Send + Sync, R: Send>(
         .collect()
 }
 
+/// Fault-aware parallel map: like [`map_slice_with`], but each item runs
+/// under `policy` — a panicked item is re-attempted up to
+/// `policy.retries` times with exponential backoff, and the whole call
+/// observes the policy deadline cooperatively (workers stop *claiming*
+/// work once it passes; in-flight items always finish, because pooled
+/// jobs borrow the caller's stack and can never be abandoned).
+///
+/// When the active [`FaultInjector`](crate::fault::FaultInjector) (see
+/// [`crate::fault::install_injector`]) is configured, every attempt may
+/// be injected with a delay or a panic, deterministically per
+/// `(item index, attempt)`.
+///
+/// Items that exhaust their retry budget are salvaged by one final
+/// sequential, injector-free pass on the caller's thread (counted under
+/// `fault.items_reassigned`) — but only when the policy actually asked
+/// for retries. With `retries == 0` the call reports
+/// [`ExecError::RetriesExhausted`] on the first panic, which is the
+/// seed's propagate-the-panic behaviour in `Result` form.
+pub fn try_map_slice_with<T: Send + Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    strategy: Strategy,
+    mode: ExecMode,
+    policy: &FaultPolicy,
+    f: impl Fn(&T) -> R + Send + Sync,
+) -> Result<Vec<R>, ExecError> {
+    let len = items.len();
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let started = Instant::now();
+    let injector = injector();
+    let expired = || matches!(policy.deadline, Some(d) if started.elapsed() >= d);
+    let workers = workers.max(1).min(len);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    let failed: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let deadline_hit = AtomicBool::new(false);
+
+    // The per-item attempt loop, shared by the sequential and parallel
+    // paths. Returns the value on success; on budget exhaustion records
+    // the failure (counter + note + failed list) and returns None.
+    let attempt_item = |index: usize, item: &T| -> Option<R> {
+        let mut attempt = 0u32;
+        loop {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(inj) = injector {
+                    inj.inject(index as u64, attempt);
+                }
+                f(item)
+            }));
+            match result {
+                Ok(value) => return Some(value),
+                Err(payload) => {
+                    metrics::POOL_JOBS_PANICKED.incr();
+                    let message = panic_message(payload.as_ref());
+                    if attempt < policy.retries {
+                        metrics::FAULT_RETRIES_SCHEDULED.incr();
+                        std::thread::sleep(policy.backoff_for(attempt));
+                        attempt += 1;
+                    } else {
+                        metrics::FAULT_FAILURES_FINAL.incr();
+                        snap_trace::note(
+                            "exec.item_failed",
+                            format!("item {index} failed after {attempt} retr(ies): {message}"),
+                        );
+                        failed
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push((index, message));
+                        return None;
+                    }
+                }
+            }
+        }
+    };
+
+    if workers <= 1 || len <= 1 {
+        for (index, item) in items.iter().enumerate() {
+            if expired() {
+                deadline_hit.store(true, Ordering::SeqCst);
+                break;
+            }
+            if let Some(value) = attempt_item(index, item) {
+                out[index] = Some(value);
+            }
+        }
+    } else {
+        let slots = SlotWriter::new(&mut out);
+        let next = AtomicUsize::new(0);
+        let chunk = chunk_size(len, workers);
+        let worker_body = |w: usize| match strategy {
+            Strategy::Dynamic => loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                // Deadline check after the claim: a skipped claimed chunk
+                // guarantees unfilled slots, so a deadline error is never
+                // reported for a run that actually completed everything.
+                if expired() {
+                    deadline_hit.store(true, Ordering::SeqCst);
+                    break;
+                }
+                metrics::EXEC_CHUNKS_CLAIMED.incr();
+                let end = (start + chunk).min(len);
+                let _span = snap_trace::span!("exec.chunk", "start" => start);
+                for (i, item) in items[start..end].iter().enumerate() {
+                    if let Some(value) = attempt_item(start + i, item) {
+                        // SAFETY: fetch_add hands each block to one task.
+                        unsafe { slots.write(start + i, value) };
+                    }
+                }
+            },
+            Strategy::Static => {
+                let block = len.div_ceil(workers);
+                let start = (w * block).min(len);
+                let end = ((w + 1) * block).min(len);
+                if start < end {
+                    metrics::EXEC_CHUNKS_CLAIMED.incr();
+                }
+                let _span = snap_trace::span!("exec.chunk", "start" => start);
+                // A static block is one worker's whole share; walk it in
+                // chunk-sized strides so the deadline is still observed
+                // at a useful granularity.
+                let mut cursor = start;
+                while cursor < end {
+                    if expired() {
+                        deadline_hit.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    let stop = (cursor + chunk).min(end);
+                    for (i, item) in items[cursor..stop].iter().enumerate() {
+                        if let Some(value) = attempt_item(cursor + i, item) {
+                            // SAFETY: static blocks are disjoint per task.
+                            unsafe { slots.write(cursor + i, value) };
+                        }
+                    }
+                    cursor = stop;
+                }
+            }
+        };
+        let map_span = snap_trace::span!("exec.try_map_slice", len);
+        run_tasks(workers, mode, &worker_body);
+        drop(map_span);
+    }
+
+    if deadline_hit.load(Ordering::SeqCst) {
+        let completed = out.iter().filter(|slot| slot.is_some()).count();
+        metrics::FAULT_DEADLINES_EXCEEDED.incr();
+        snap_trace::note(
+            "exec.deadline_exceeded",
+            format!("{completed}/{len} items completed before the deadline"),
+        );
+        return Err(ExecError::DeadlineExceeded {
+            completed,
+            total: len,
+        });
+    }
+
+    let failed = failed.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if !failed.is_empty() {
+        let last_message = failed.last().map(|(_, m)| m.clone()).unwrap_or_default();
+        if policy.retries == 0 {
+            return Err(ExecError::RetriesExhausted {
+                failed_items: failed.len(),
+                last_message,
+            });
+        }
+        // Salvage pass: the retry budget was spent under injection, so
+        // give the failed items one clean sequential run on the caller's
+        // thread. A panic here is genuine (no injector) and final.
+        metrics::FAULT_ITEMS_REASSIGNED.add(failed.len() as u64);
+        snap_trace::note(
+            "exec.salvage",
+            format!("re-running {} failed item(s) sequentially", failed.len()),
+        );
+        for (index, _) in &failed {
+            match catch_unwind(AssertUnwindSafe(|| f(&items[*index]))) {
+                Ok(value) => out[*index] = Some(value),
+                Err(payload) => {
+                    metrics::POOL_JOBS_PANICKED.incr();
+                    metrics::FAULT_FAILURES_FINAL.incr();
+                    let message = panic_message(payload.as_ref());
+                    snap_trace::note(
+                        "exec.salvage_failed",
+                        format!("item {index} failed without injection: {message}"),
+                    );
+                    return Err(ExecError::RetriesExhausted {
+                        failed_items: failed.len(),
+                        last_message: message,
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(out
+        .into_iter()
+        .map(|slot| slot.expect("every index processed exactly once"))
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +532,128 @@ mod tests {
         // The pool is still healthy afterwards.
         let ok = map_slice_with(&items, 4, Strategy::Dynamic, ExecMode::Pooled, |&n| n + 1);
         assert_eq!(ok, items.iter().map(|n| n + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_with_zero_retries_matches_plain_map() {
+        let items: Vec<i64> = (0..503).collect();
+        let policy = FaultPolicy::default();
+        let out = try_map_slice_with(
+            &items,
+            4,
+            Strategy::Dynamic,
+            ExecMode::Pooled,
+            &policy,
+            |&n| n * 7,
+        )
+        .unwrap();
+        let plain = map_slice_with(&items, 4, Strategy::Dynamic, ExecMode::Pooled, |&n| n * 7);
+        assert_eq!(out, plain);
+    }
+
+    #[test]
+    fn retries_recover_flaky_items_in_order() {
+        use std::sync::atomic::AtomicU32;
+        let attempts: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..100).collect();
+        let policy = FaultPolicy::with_retries(2).backoff(std::time::Duration::ZERO);
+        let out = try_map_slice_with(
+            &items,
+            4,
+            Strategy::Dynamic,
+            ExecMode::Pooled,
+            &policy,
+            |&i| {
+                let n = attempts[i].fetch_add(1, Ordering::SeqCst);
+                if i % 7 == 0 && n == 0 {
+                    panic!("flaky item");
+                }
+                i * 3
+            },
+        )
+        .unwrap();
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_retry_failure_reports_retries_exhausted() {
+        let items: Vec<i64> = (0..64).collect();
+        let policy = FaultPolicy::default();
+        let err = try_map_slice_with(
+            &items,
+            4,
+            Strategy::Dynamic,
+            ExecMode::Pooled,
+            &policy,
+            |&n| {
+                if n == 13 {
+                    panic!("boom-13");
+                }
+                n
+            },
+        )
+        .unwrap_err();
+        match err {
+            ExecError::RetriesExhausted {
+                failed_items,
+                last_message,
+            } => {
+                assert_eq!(failed_items, 1);
+                assert!(last_message.contains("boom-13"), "got: {last_message}");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_exceeded_is_reported_not_hung() {
+        let items: Vec<u64> = (0..64).collect();
+        let policy = FaultPolicy::default().deadline(std::time::Duration::from_millis(5));
+        let err = try_map_slice_with(
+            &items,
+            2,
+            Strategy::Dynamic,
+            ExecMode::Pooled,
+            &policy,
+            |_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            },
+        )
+        .unwrap_err();
+        match err {
+            ExecError::DeadlineExceeded { completed, total } => {
+                assert_eq!(total, 64);
+                assert!(completed < total, "some work must have been skipped");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_items_are_salvaged_sequentially_in_order() {
+        use std::sync::atomic::AtomicU32;
+        let attempts: Vec<AtomicU32> = (0..50).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..50).collect();
+        let policy = FaultPolicy::with_retries(1).backoff(std::time::Duration::ZERO);
+        // Items 3, 13, 23, 33, 43 fail on both in-worker attempts (the
+        // whole retry budget) and only succeed on the third call — which
+        // can only be the sequential salvage pass.
+        let out = try_map_slice_with(
+            &items,
+            4,
+            Strategy::Dynamic,
+            ExecMode::Pooled,
+            &policy,
+            |&i| {
+                let n = attempts[i].fetch_add(1, Ordering::SeqCst);
+                if i % 10 == 3 && n < 2 {
+                    panic!("needs salvage");
+                }
+                i + 1000
+            },
+        )
+        .unwrap();
+        assert_eq!(out, (0..50).map(|i| i + 1000).collect::<Vec<_>>());
     }
 
     #[test]

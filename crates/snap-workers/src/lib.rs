@@ -15,6 +15,10 @@
 //!   compiled Snap! rings on workers with structured-clone isolation,
 //!   the analogue of Listing 2's `mappedCode()` → `new Function` →
 //!   `p.map(...)` pipeline.
+//! * [`FaultPolicy`] / [`FaultInjector`] — fault-tolerant execution
+//!   ([`fault`]): per-item retries with exponential backoff, cooperative
+//!   deadlines, and deterministic chaos injection — the recovery a
+//!   browser provides for free when a Web Worker dies mid-map.
 //!
 //! Everything here is deliberately independent of the VM: a worker sees
 //! only the compiled ring and the values posted to it, exactly as a Web
@@ -24,11 +28,16 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+pub mod fault;
 pub mod parallel;
 pub mod pool;
 pub mod ring_fn;
 
-pub use executor::{global_pool, map_slice_with, ExecMode};
+pub use executor::{global_pool, map_slice_with, try_map_slice_with, ExecMode};
+pub use fault::{install_injector, panic_message, ExecError, FaultInjector, FaultPolicy};
 pub use parallel::{default_workers, map_slice, Parallel, Strategy};
 pub use pool::{PoolClosed, WorkerPool};
-pub use ring_fn::{ring_map, ring_map_pairs, ring_reduce_groups, Isolation, RingMapOptions};
+pub use ring_fn::{
+    as_map_pair, ring_map, ring_map_faulted, ring_map_pairs, ring_map_pairs_faulted,
+    ring_reduce_groups, ring_reduce_groups_faulted, Isolation, RingMapError, RingMapOptions,
+};

@@ -45,6 +45,8 @@ use std::time::Duration;
 
 use snap_trace::{well_known as metrics, WorkerCounters};
 
+use crate::fault::FaultPolicy;
+
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Hard ceiling on pool growth ([`WorkerPool::ensure_workers`]); far
@@ -259,7 +261,21 @@ fn run_job(executed: &WorkerCounters, id: usize, job: Job) {
     metrics::POOL_QUEUE_DEPTH.decr();
     // A panicking job must not kill the worker; the panic is surfaced to
     // the submitter through whatever completion handle the job carries.
-    let _ = catch_unwind(AssertUnwindSafe(job));
+    // The payload is not silently dropped: its message goes into the
+    // trace as a `pool.job_panic` note, and the counters record it as a
+    // final failure (a raw job carries no retry budget) so the
+    // panicked == retries + final reconciliation stays exact.
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+        metrics::POOL_JOBS_PANICKED.incr();
+        metrics::FAULT_FAILURES_FINAL.incr();
+        snap_trace::note(
+            "pool.job_panic",
+            format!(
+                "worker {id}: {}",
+                crate::fault::panic_message(payload.as_ref())
+            ),
+        );
+    }
 }
 
 fn worker_loop(
@@ -432,6 +448,44 @@ impl WorkerPool {
             Err(PoolClosed) => metrics::POOL_JOBS_REFUSED.incr(),
         }
         sent
+    }
+
+    /// Submit a job that is re-run on the same worker when it panics,
+    /// up to `policy.retries` extra attempts with exponential backoff.
+    /// The job must be `Fn` (re-callable); each panicked attempt is
+    /// counted and traced, and an attempt that exhausts the budget is a
+    /// final failure — the worker survives either way.
+    pub fn execute_with_policy(
+        &self,
+        policy: FaultPolicy,
+        job: impl Fn() + Send + 'static,
+    ) -> Result<(), PoolClosed> {
+        self.execute(move || {
+            let mut attempt = 0u32;
+            loop {
+                match catch_unwind(AssertUnwindSafe(&job)) {
+                    Ok(()) => return,
+                    Err(payload) => {
+                        metrics::POOL_JOBS_PANICKED.incr();
+                        snap_trace::note(
+                            "pool.job_panic",
+                            format!(
+                                "attempt {attempt}: {}",
+                                crate::fault::panic_message(payload.as_ref())
+                            ),
+                        );
+                        if attempt < policy.retries {
+                            metrics::FAULT_RETRIES_SCHEDULED.incr();
+                            std::thread::sleep(policy.backoff_for(attempt));
+                            attempt += 1;
+                        } else {
+                            metrics::FAULT_FAILURES_FINAL.incr();
+                            return;
+                        }
+                    }
+                }
+            }
+        })
     }
 
     fn submit(&self, job: Job) -> Result<(), PoolClosed> {
@@ -852,6 +906,48 @@ mod tests {
         pool.close(); // simulate shutdown having begun
         let result = pool.execute(|| {});
         assert_eq!(result, Err(PoolClosed));
+    }
+
+    #[test]
+    fn execute_with_policy_retries_until_success() {
+        let pool = WorkerPool::new(2);
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(AtomicUsize::new(0));
+        let (a, d) = (attempts.clone(), done.clone());
+        pool.execute_with_policy(
+            FaultPolicy::with_retries(3).backoff(Duration::ZERO),
+            move || {
+                if a.fetch_add(1, Ordering::SeqCst) < 2 {
+                    panic!("flaky job");
+                }
+                d.fetch_add(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+        drop(pool); // drain
+        assert_eq!(
+            attempts.load(Ordering::SeqCst),
+            3,
+            "two failures, one success"
+        );
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn execute_with_policy_gives_up_after_the_budget() {
+        let pool = WorkerPool::new(1);
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let a = attempts.clone();
+        pool.execute_with_policy(
+            FaultPolicy::with_retries(2).backoff(Duration::ZERO),
+            move || {
+                a.fetch_add(1, Ordering::SeqCst);
+                panic!("always fails");
+            },
+        )
+        .unwrap();
+        drop(pool); // drain; the worker must survive the final failure
+        assert_eq!(attempts.load(Ordering::SeqCst), 3, "1 try + 2 retries");
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! instead of "hope the JS works in the worker"), deep-copy each item
 //! across the thread boundary, evaluate, deep-copy the result back.
 
+use std::fmt;
 use std::sync::Arc;
 
 use snap_ast::pure::compile_cached;
 use snap_ast::{EvalError, Ring, Value};
 
-use crate::executor::{map_slice_with, ExecMode};
+use crate::executor::{try_map_slice_with, ExecMode};
+use crate::fault::{ExecError, FaultPolicy};
 use crate::parallel::Strategy;
 
 /// Whether values crossing the worker boundary are structured-cloned
@@ -46,6 +48,9 @@ pub struct RingMapOptions {
     /// pour, a request takes time to answer) so worker scaling is
     /// observable even on single-core hosts; `None` for real workloads.
     pub latency: Option<std::time::Duration>,
+    /// Fault policy for the call. The default (no retries, no deadline)
+    /// reproduces the pre-fault-tolerance behaviour exactly.
+    pub policy: FaultPolicy,
 }
 
 impl Default for RingMapOptions {
@@ -56,27 +61,77 @@ impl Default for RingMapOptions {
             isolation: Isolation::Copy,
             exec: ExecMode::Pooled,
             latency: None,
+            policy: FaultPolicy::default(),
+        }
+    }
+}
+
+/// Failure of a fault-aware ring map: either the user's ring reported an
+/// evaluation error, or the execution layer itself failed (retry budget
+/// exhausted, deadline exceeded). Callers that degrade gracefully match
+/// on [`RingMapError::Exec`] to pick the fallback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RingMapError {
+    /// The ring itself reported an error on some item.
+    Eval(EvalError),
+    /// The execution layer failed (panics beyond the retry budget, or
+    /// the call deadline passed).
+    Exec(ExecError),
+}
+
+impl fmt::Display for RingMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingMapError::Eval(e) => write!(f, "{e}"),
+            RingMapError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RingMapError {}
+
+impl From<RingMapError> for EvalError {
+    fn from(err: RingMapError) -> EvalError {
+        match err {
+            RingMapError::Eval(e) => e,
+            RingMapError::Exec(e) => EvalError::Other(e.to_string()),
         }
     }
 }
 
 /// Apply a reporter ring to every item in parallel. Results come back in
-/// input order; the first error (if any) is reported.
+/// input order; the first error (if any) is reported. Execution-layer
+/// failures (retry exhaustion, deadline) are flattened into
+/// [`EvalError::Other`]; callers that need to tell them apart use
+/// [`ring_map_faulted`].
 pub fn ring_map(
     ring: Arc<Ring>,
     items: Vec<Value>,
     options: RingMapOptions,
 ) -> Result<Vec<Value>, EvalError> {
+    ring_map_faulted(ring, items, options).map_err(EvalError::from)
+}
+
+/// [`ring_map`] with the execution-layer failure kept distinct: the
+/// fault-aware entry point for callers that degrade gracefully (the
+/// parallel blocks fall back to a sequential map on
+/// [`ExecError::RetriesExhausted`], but propagate deadline errors).
+pub fn ring_map_faulted(
+    ring: Arc<Ring>,
+    items: Vec<Value>,
+    options: RingMapOptions,
+) -> Result<Vec<Value>, RingMapError> {
     let len = items.len();
     snap_trace::well_known::RING_MAP_CALLS.incr();
     snap_trace::well_known::RING_MAP_ITEMS.add(len as u64);
     let _span = snap_trace::span!("ring_map", len);
-    let f = compile_cached(&ring)?;
-    let results = map_slice_with(
+    let f = compile_cached(&ring).map_err(RingMapError::Eval)?;
+    let results = try_map_slice_with(
         &items,
         options.workers,
         options.strategy,
         options.exec,
+        &options.policy,
         |item| {
             if let Some(latency) = options.latency {
                 std::thread::sleep(latency);
@@ -90,8 +145,27 @@ pub fn ring_map(
                 Isolation::Share => v,
             })
         },
-    );
-    results.into_iter().collect()
+    )
+    .map_err(RingMapError::Exec)?;
+    results
+        .into_iter()
+        .collect::<Result<Vec<Value>, EvalError>>()
+        .map_err(RingMapError::Eval)
+}
+
+/// Validate one mapper output as a `[key, value]` pair (the shape the
+/// MapReduce shuffle expects).
+pub fn as_map_pair(pair: Value) -> Result<(Value, Value), EvalError> {
+    match pair.as_list() {
+        Some(list) if list.len() >= 2 => Ok((
+            list.item(1).unwrap_or(Value::Nothing),
+            list.item(2).unwrap_or(Value::Nothing),
+        )),
+        _ => Err(EvalError::TypeMismatch {
+            expected: "[key, value] pair from the map function",
+            got: pair.to_display_string(),
+        }),
+    }
 }
 
 /// Apply a reporter ring to every item, returning `[key, value]` pairs —
@@ -102,20 +176,21 @@ pub fn ring_map_pairs(
     items: Vec<Value>,
     options: RingMapOptions,
 ) -> Result<Vec<(Value, Value)>, EvalError> {
-    let mapped = ring_map(ring, items, options)?;
+    ring_map_pairs_faulted(ring, items, options).map_err(EvalError::from)
+}
+
+/// [`ring_map_pairs`] with the execution-layer failure kept distinct.
+pub fn ring_map_pairs_faulted(
+    ring: Arc<Ring>,
+    items: Vec<Value>,
+    options: RingMapOptions,
+) -> Result<Vec<(Value, Value)>, RingMapError> {
+    let mapped = ring_map_faulted(ring, items, options)?;
     mapped
         .into_iter()
-        .map(|pair| match pair.as_list() {
-            Some(list) if list.len() >= 2 => Ok((
-                list.item(1).unwrap_or(Value::Nothing),
-                list.item(2).unwrap_or(Value::Nothing),
-            )),
-            _ => Err(EvalError::TypeMismatch {
-                expected: "[key, value] pair from the map function",
-                got: pair.to_display_string(),
-            }),
-        })
-        .collect()
+        .map(as_map_pair)
+        .collect::<Result<Vec<(Value, Value)>, EvalError>>()
+        .map_err(RingMapError::Eval)
 }
 
 /// Apply a reporter ring once per group in parallel. Each call receives
@@ -125,16 +200,27 @@ pub fn ring_reduce_groups(
     groups: Vec<(Value, Vec<Value>)>,
     options: RingMapOptions,
 ) -> Result<Vec<Value>, EvalError> {
+    ring_reduce_groups_faulted(ring, groups, options).map_err(EvalError::from)
+}
+
+/// [`ring_reduce_groups`] with the execution-layer failure kept
+/// distinct.
+pub fn ring_reduce_groups_faulted(
+    ring: Arc<Ring>,
+    groups: Vec<(Value, Vec<Value>)>,
+    options: RingMapOptions,
+) -> Result<Vec<Value>, RingMapError> {
     let len = groups.len();
     snap_trace::well_known::RING_MAP_CALLS.incr();
     snap_trace::well_known::RING_MAP_ITEMS.add(len as u64);
     let _span = snap_trace::span!("ring_reduce_groups", len);
-    let f = compile_cached(&ring)?;
-    let results = map_slice_with(
+    let f = compile_cached(&ring).map_err(RingMapError::Eval)?;
+    let results = try_map_slice_with(
         &groups,
         options.workers,
         options.strategy,
         options.exec,
+        &options.policy,
         |(key, values)| {
             let arg = match options.isolation {
                 Isolation::Copy => Value::list(values.iter().map(Value::deep_copy).collect()),
@@ -150,8 +236,12 @@ pub fn ring_reduce_groups(
                 ])
             })
         },
-    );
-    results.into_iter().collect()
+    )
+    .map_err(RingMapError::Exec)?;
+    results
+        .into_iter()
+        .collect::<Result<Vec<Value>, EvalError>>()
+        .map_err(RingMapError::Eval)
 }
 
 #[cfg(test)]

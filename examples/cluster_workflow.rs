@@ -89,12 +89,49 @@ fn main() {
         compute_cost: 500,
         net_cost_per_item: 1,
         startup_cost: 2_000,
+        ..ClusterSpec::default()
     };
     println!("{:>6} {:>12} {:>9}", "nodes", "makespan", "speedup");
-    for (nodes, makespan, speedup) in
-        strong_scaling_sweep(ring, items, &base, &[1, 2, 4, 8, 16, 32, 64]).expect("sweep runs")
+    for (nodes, makespan, speedup) in strong_scaling_sweep(
+        ring.clone(),
+        items.clone(),
+        &base,
+        &[1, 2, 4, 8, 16, 32, 64],
+    )
+    .expect("sweep runs")
     {
         println!("{nodes:>6} {makespan:>12} {speedup:>8.2}x");
     }
     println!("(compute-bound: scales until the serialized master link dominates)");
+
+    // ---- fault tolerance: the same map on an unreliable cluster ------
+    println!("\n=== the same map with nodes failing and straggling ===");
+    let faulty = ClusterSpec {
+        nodes: 16,
+        node_failure_p: 0.25,
+        straggler_p: 0.25,
+        straggler_factor: 6.0,
+        fault_seed: 2024,
+        ..base
+    };
+    let clean = ClusterSpec { nodes: 16, ..base };
+    let healthy = snap_core::parallel::distributed_map(ring.clone(), items.clone(), &clean)
+        .expect("clean run");
+    let recovered = snap_core::parallel::distributed_map(ring, items, &faulty).expect("faulty run");
+    assert_eq!(
+        healthy.results, recovered.results,
+        "fault recovery must not change answers"
+    );
+    println!(
+        "clean:     makespan {:>9}  (16/16 nodes healthy)",
+        healthy.makespan
+    );
+    println!(
+        "recovered: makespan {:>9}  ({} node(s) failed, {} item(s) reassigned, {} speculative run(s))",
+        recovered.makespan,
+        recovered.failed_nodes,
+        recovered.reassigned_items,
+        recovered.speculative_runs
+    );
+    println!("(identical results either way; the faults only cost modeled time)");
 }

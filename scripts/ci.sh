@@ -31,8 +31,14 @@ echo "==> experiment report (target/ci/report_output.txt)"
 cargo run --release -p bench --bin report > target/ci/report_output.txt
 tail -n 5 target/ci/report_output.txt
 
-echo "==> bench smoke run (target/ci/BENCH_3.json)"
+echo "==> bench smoke run + regression gate vs committed BENCH_3.json"
 scripts/bench.sh target/ci/BENCH_3.json
-cargo run --release -p bench --bin trace_check -- --bench-json target/ci/BENCH_3.json
+cargo run --release -p bench --bin trace_check -- \
+  --bench-json target/ci/BENCH_3.json --baseline BENCH_3.json
+
+echo "==> chaos: fault-injection stress under a fixed seed"
+mkdir -p target/ci/chaos
+SNAP_FAULT_SEED="${SNAP_FAULT_SEED:-20240806}" RUST_BACKTRACE=1 \
+  cargo test --release --test integration_faults -- --ignored --nocapture
 
 echo "CI gate passed."
