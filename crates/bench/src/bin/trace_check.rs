@@ -3,21 +3,32 @@
 //!
 //! ```sh
 //! cargo run -p bench --bin trace_check -- target/trace.json [target/trace.json.report.json]
-//! cargo run -p bench --bin trace_check -- --bench-json target/ci/BENCH_3.json
-//! cargo run -p bench --bin trace_check -- --bench-json target/ci/BENCH_3.json \
-//!     --baseline BENCH_3.json
+//! cargo run -p bench --bin trace_check -- target/trace.json target/trace.json.report.json \
+//!     --require-counter shuffle.pairs_combined
+//! cargo run -p bench --bin trace_check -- --bench-json target/ci/BENCH_5.json
+//! cargo run -p bench --bin trace_check -- --bench-json target/ci/BENCH_5.json \
+//!     --baseline BENCH_5.json
 //! ```
+//!
+//! Report validation checks the schema (counters/gauges/spans/
+//! executed_per_worker) and that every counter in
+//! [`REQUIRED_REPORT_COUNTERS`] — including the PR-5 ring-bytecode and
+//! combiner counters — is present. `--require-counter <name>`
+//! additionally asserts the named counter is **positive** in every
+//! report file checked (CI uses it to prove the map-side combiner
+//! actually ran on the traced example).
 //!
 //! `--bench-json` instead validates a `scripts/bench.sh` baseline file
 //! (date, host_cpus, and a non-empty benches array of name/mean_ns/
 //! workers entries). With `--baseline`, the fresh run is additionally
 //! compared against the committed baseline: the gated benches
-//! (`a1_job_churn/1`, `a1_nested_latency/outer2_inner8`) fail the check
-//! when more than 25% slower than baseline, and the full comparison
-//! table is appended to `$GITHUB_STEP_SUMMARY` when that variable is
-//! set. Exits non-zero if a file is missing, fails to parse, lacks its
-//! required structure, regresses past the gate, or (for traces)
-//! contains malformed events.
+//! (`a1_job_churn/1`, `a1_nested_latency/outer2_inner8`,
+//! `a5_ring_eval/bytecode_fastpath`, `a5_word_count_combine/
+//! combiner_on`) fail the check when more than 25% slower than
+//! baseline, and the full comparison table is appended to
+//! `$GITHUB_STEP_SUMMARY` when that variable is set. Exits non-zero if
+//! a file is missing, fails to parse, lacks its required structure,
+//! regresses past the gate, or (for traces) contains malformed events.
 
 use std::process::ExitCode;
 
@@ -59,7 +70,23 @@ fn check_trace(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn check_report(path: &str) -> Result<(), String> {
+/// Counters every `ExecutionReport` JSON must carry — the observability
+/// contract each subsystem PR extends. PR 5 added the ring-bytecode
+/// tiers and the map-side combiner.
+const REQUIRED_REPORT_COUNTERS: &[&str] = &[
+    "pool.jobs_executed",
+    "compile_cache.hits",
+    "compile_cache.misses",
+    "ring.bytecode_compiles",
+    "ring.fastpath_calls",
+    "ring.bytecode_calls",
+    "ring.treewalk_calls",
+    "shuffle.pairs",
+    "shuffle.combine_runs",
+    "shuffle.pairs_combined",
+];
+
+fn check_report(path: &str, require_positive: &[String]) -> Result<(), String> {
     let doc = parse_file(path)?;
     let object = doc
         .as_object()
@@ -73,6 +100,21 @@ fn check_report(path: &str) -> Result<(), String> {
         .get("counters")
         .and_then(Value::as_object)
         .ok_or_else(|| format!("{path}: counters is not an object"))?;
+    for name in REQUIRED_REPORT_COUNTERS {
+        if counters.get(name).is_none() {
+            return Err(format!("{path}: report missing counter {name:?}"));
+        }
+    }
+    for name in require_positive {
+        let value = match counters.get(name.as_str()) {
+            Some(Value::Number(n)) => n.as_f64(),
+            _ => return Err(format!("{path}: required counter {name:?} not found")),
+        };
+        if value <= 0.0 {
+            return Err(format!("{path}: counter {name:?} is {value}, expected > 0"));
+        }
+        println!("{path}: counter {name} = {value} (> 0 as required)");
+    }
     println!("{path}: OK — {} counters", counters.len());
     Ok(())
 }
@@ -110,9 +152,16 @@ fn check_bench_json(path: &str) -> Result<(), String> {
 }
 
 /// Benches whose regressions fail CI; everything else is informational.
-/// Both run single-job/low-worker shapes that are stable on small CI
+/// All run single-job/low-worker shapes that are stable on small CI
 /// hosts, unlike the saturation benches that swing with core count.
-const GATED_BENCHES: &[&str] = &["a1_job_churn/1", "a1_nested_latency/outer2_inner8"];
+/// The `a5` pair gates the ring-bytecode fast path and the map-side
+/// combiner: both are per-item/per-pair CPU work, stable on one core.
+const GATED_BENCHES: &[&str] = &[
+    "a1_job_churn/1",
+    "a1_nested_latency/outer2_inner8",
+    "a5_ring_eval/bytecode_fastpath",
+    "a5_word_count_combine/combiner_on",
+];
 
 /// Regression tolerance for gated benches: fail when `current` is more
 /// than 25% slower than the committed baseline.
@@ -209,6 +258,7 @@ fn main() -> ExitCode {
     if args.is_empty() {
         eprintln!(
             "usage: trace_check <chrome-trace.json> [report.json ...] \
+             [--require-counter <name> ...] \
              | --bench-json <BENCH.json> [--baseline <BENCH.json>]"
         );
         return ExitCode::FAILURE;
@@ -250,11 +300,27 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    for (i, path) in args.iter().enumerate() {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut require_positive: Vec<String> = Vec::new();
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        if arg == "--require-counter" {
+            match rest.next() {
+                Some(name) => require_positive.push(name.clone()),
+                None => {
+                    eprintln!("trace_check FAILED: --require-counter requires a name");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    for (i, path) in paths.iter().enumerate() {
         let result = if i == 0 {
             check_trace(path)
         } else {
-            check_report(path)
+            check_report(path, &require_positive)
         };
         if let Err(message) = result {
             eprintln!("trace_check FAILED: {message}");

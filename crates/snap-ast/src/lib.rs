@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod bytecode;
 pub mod constant;
 pub mod error;
 pub mod expr;
@@ -34,7 +35,7 @@ pub use constant::Constant;
 pub use error::EvalError;
 pub use expr::{Attr, BinOp, Expr, RingExpr, RingExprBody, UnOp};
 pub use lint::{lint_project, Lint, LintKind};
-pub use pure::{compile_cache_stats, compile_cached, PureFn};
+pub use pure::{compile_cache_stats, compile_cached, CompiledStrategy, PureFn};
 pub use ring::{Ring, RingBody};
 pub use script::{BlockKind, CustomBlock, HatBlock, Script};
 pub use sprite::{Project, SpriteDef};

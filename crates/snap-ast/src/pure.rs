@@ -7,12 +7,18 @@
 //!
 //! [`PureFn`] is the Rust analogue: it checks that a ring's body uses only
 //! *pure* blocks (no stage, no sprite motion, no randomness, no custom
-//! blocks), then evaluates it re-entrantly against explicit argument
-//! bindings. A `PureFn` is `Send + Sync`, so worker threads can share it.
+//! blocks), then compiles it. Most rings lower to the flat register
+//! bytecode of [`crate::bytecode`] — numeric rings to the unboxed `f64`
+//! fast path — and calls dispatch to the compiled program; rings using
+//! higher-order blocks keep the re-entrant tree-walking evaluator, which
+//! also serves as the differential-testing oracle
+//! ([`PureFn::call_treewalk`]). A `PureFn` is `Send + Sync`, so worker
+//! threads can share it.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
 
+use crate::bytecode::{self, num_binop, num_unop, Lowered, NumProgram, Program};
 use crate::error::EvalError;
 use crate::expr::{BinOp, Expr, RingExprBody, UnOp};
 use crate::ring::{Ring, RingBody};
@@ -39,6 +45,26 @@ pub fn check_pure(expr: &Expr) -> Result<(), &'static str> {
     }
 }
 
+/// How a [`PureFn`]'s calls execute, decided once at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompiledStrategy {
+    /// Unboxed `f64` register program — the numeric fast path.
+    Numeric,
+    /// Boxed [`Value`] register bytecode.
+    Bytecode,
+    /// The tree-walking evaluator (higher-order or unbound constructs).
+    TreeWalk,
+}
+
+/// The compiled body a [`PureFn`] dispatches to. `Arc`-wrapped so that
+/// cloning a cached `PureFn` stays cheap.
+#[derive(Clone)]
+enum Compiled {
+    Numeric(Arc<NumProgram>),
+    Bytecode(Arc<Program>),
+    TreeWalk,
+}
+
 /// A compiled, thread-safe view of a reporter ring.
 ///
 /// Construction fails unless the ring is a reporter/predicate whose body
@@ -46,22 +72,42 @@ pub fn check_pure(expr: &Expr) -> Result<(), &'static str> {
 #[derive(Clone)]
 pub struct PureFn {
     ring: Arc<Ring>,
+    compiled: Compiled,
 }
 
 impl PureFn {
-    /// Compile a ring into a callable pure function.
+    /// Compile a ring into a callable pure function: purity check, then
+    /// bytecode lowering ([`crate::bytecode::lower`]), falling back to
+    /// the tree walk for constructs bytecode does not cover.
     pub fn compile(ring: Arc<Ring>) -> Result<PureFn, EvalError> {
         let expr = match &ring.body {
             RingBody::Reporter(e) | RingBody::Predicate(e) => e,
             RingBody::Command(_) => return Err(EvalError::NotAReporter),
         };
         check_pure(expr).map_err(EvalError::NotPure)?;
-        Ok(PureFn { ring })
+        let compiled = match bytecode::lower(&ring) {
+            Some(Lowered::Numeric(p)) => Compiled::Numeric(Arc::new(p)),
+            Some(Lowered::Boxed(p)) => Compiled::Bytecode(Arc::new(p)),
+            None => Compiled::TreeWalk,
+        };
+        if !matches!(compiled, Compiled::TreeWalk) {
+            snap_trace::well_known::RING_BYTECODE_COMPILES.incr();
+        }
+        Ok(PureFn { ring, compiled })
     }
 
     /// The underlying ring.
     pub fn ring(&self) -> &Arc<Ring> {
         &self.ring
+    }
+
+    /// Which execution strategy calls use (diagnostics and tests).
+    pub fn strategy(&self) -> CompiledStrategy {
+        match &self.compiled {
+            Compiled::Numeric(_) => CompiledStrategy::Numeric,
+            Compiled::Bytecode(_) => CompiledStrategy::Bytecode,
+            Compiled::TreeWalk => CompiledStrategy::TreeWalk,
+        }
     }
 
     /// Apply the function to `args`.
@@ -70,7 +116,31 @@ impl PureFn {
     /// positionally; with no formals, **empty slots** receive the
     /// arguments left to right, and when exactly one argument is supplied
     /// it fills *every* empty slot (this is how `map (( ) × 10)` works).
+    ///
+    /// Dispatches to the compiled program; results are bit-for-bit those
+    /// of [`PureFn::call_treewalk`] (enforced by the differential suite).
     pub fn call(&self, args: &[Value]) -> Result<Value, EvalError> {
+        match &self.compiled {
+            Compiled::Numeric(p) => {
+                snap_trace::well_known::RING_FASTPATH_CALLS.incr();
+                p.call(args)
+            }
+            Compiled::Bytecode(p) => {
+                snap_trace::well_known::RING_BYTECODE_CALLS.incr();
+                p.call(args)
+            }
+            Compiled::TreeWalk => {
+                snap_trace::well_known::RING_TREEWALK_CALLS.incr();
+                self.call_treewalk(args)
+            }
+        }
+    }
+
+    /// Apply via the tree-walking evaluator, bypassing any compiled
+    /// program — the reference semantics every compiled path must match
+    /// (the oracle of the differential tests, and the fallback body of
+    /// [`PureFn::call`] for non-lowered rings).
+    pub fn call_treewalk(&self, args: &[Value]) -> Result<Value, EvalError> {
         let expr = match &self.ring.body {
             RingBody::Reporter(e) | RingBody::Predicate(e) => e,
             RingBody::Command(_) => return Err(EvalError::NotAReporter),
@@ -89,12 +159,21 @@ impl PureFn {
 /// holding thousands of distinct rings alive at once.
 const COMPILE_CACHE_CAP: usize = 1024;
 
+/// Insertions between periodic dead-`Weak` sweeps. Without this, a
+/// workload that compiles short-lived rings but never reaches
+/// [`COMPILE_CACHE_CAP`] would accumulate dead entries forever.
+const COMPILE_CACHE_SWEEP_INTERVAL: usize = 64;
+
 struct CompileCache {
     /// Keyed by `Arc::as_ptr` of the ring. The [`Weak`] both detects
     /// entry death (ring dropped → evictable) and guards against ABA:
     /// a recycled allocation address only hits when the stored weak
-    /// still upgrades to *this* `Arc`.
-    entries: HashMap<usize, (Weak<Ring>, PureFn)>,
+    /// still upgrades to *this* `Arc`. Only the [`Compiled`] body is
+    /// stored — caching a whole [`PureFn`] would keep a strong
+    /// `Arc<Ring>` inside the cache and the entry could never die.
+    entries: HashMap<usize, (Weak<Ring>, Compiled)>,
+    /// Insertions since the last dead-entry sweep.
+    inserts_since_sweep: usize,
 }
 
 static COMPILE_CACHE: OnceLock<Mutex<CompileCache>> = OnceLock::new();
@@ -103,6 +182,7 @@ fn compile_cache() -> &'static Mutex<CompileCache> {
     COMPILE_CACHE.get_or_init(|| {
         Mutex::new(CompileCache {
             entries: HashMap::new(),
+            inserts_since_sweep: 0,
         })
     })
 }
@@ -114,7 +194,9 @@ fn compile_cache() -> &'static Mutex<CompileCache> {
 /// [`PureFn::compile`]; this caches the verdict so steady-state calls
 /// cost one hash lookup. Compilation *failures* are not cached (they
 /// are cheap and rare). Entries die with their ring: a dropped `Arc`
-/// leaves a dead [`Weak`] that is evicted on the next capacity sweep.
+/// leaves a dead [`Weak`] that is evicted by the periodic sweep (every
+/// [`COMPILE_CACHE_SWEEP_INTERVAL`] insertions, or when the cache hits
+/// capacity).
 pub fn compile_cached(ring: &Arc<Ring>) -> Result<PureFn, EvalError> {
     let key = Arc::as_ptr(ring) as usize;
     let mut cache = compile_cache()
@@ -123,7 +205,10 @@ pub fn compile_cached(ring: &Arc<Ring>) -> Result<PureFn, EvalError> {
     let cached = cache.entries.get(&key).and_then(|(weak, compiled)| {
         weak.upgrade()
             .filter(|live| Arc::ptr_eq(live, ring))
-            .map(|_| compiled.clone())
+            .map(|live| PureFn {
+                ring: live,
+                compiled: compiled.clone(),
+            })
     });
     match cached {
         Some(compiled) => {
@@ -137,15 +222,42 @@ pub fn compile_cached(ring: &Arc<Ring>) -> Result<PureFn, EvalError> {
     }
     snap_trace::well_known::COMPILE_CACHE_MISSES.incr();
     let compiled = PureFn::compile(ring.clone())?;
-    if cache.entries.len() >= COMPILE_CACHE_CAP {
+    if cache.entries.len() >= COMPILE_CACHE_CAP
+        || cache.inserts_since_sweep >= COMPILE_CACHE_SWEEP_INTERVAL
+    {
         cache.entries.retain(|_, (weak, _)| weak.strong_count() > 0);
+        cache.inserts_since_sweep = 0;
     }
     if cache.entries.len() < COMPILE_CACHE_CAP {
         cache
             .entries
-            .insert(key, (Arc::downgrade(ring), compiled.clone()));
+            .insert(key, (Arc::downgrade(ring), compiled.compiled.clone()));
+        cache.inserts_since_sweep += 1;
     }
     Ok(compiled)
+}
+
+/// Number of live (upgradeable) entries currently in the compile cache.
+/// Dead `Weak`s awaiting the next sweep are not counted. Test/diagnostic
+/// accessor.
+pub fn compile_cache_live_len() -> usize {
+    let cache = compile_cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    cache
+        .entries
+        .values()
+        .filter(|(weak, _)| weak.strong_count() > 0)
+        .count()
+}
+
+/// Total entries in the compile cache, including dead `Weak`s that the
+/// periodic sweep has not yet evicted. Test/diagnostic accessor.
+pub fn compile_cache_total_len() -> usize {
+    let cache = compile_cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    cache.entries.len()
 }
 
 /// Compile-cache hit/miss counters since process start, read from the
@@ -420,16 +532,11 @@ pub fn numbers_from_to(a: f64, b: f64) -> Value {
 /// Evaluate a binary operator block on two values with Snap! coercions.
 pub fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Value {
     match op {
-        BinOp::Add => Value::Number(a.to_number() + b.to_number()),
-        BinOp::Sub => Value::Number(a.to_number() - b.to_number()),
-        BinOp::Mul => Value::Number(a.to_number() * b.to_number()),
-        BinOp::Div => Value::Number(a.to_number() / b.to_number()),
-        BinOp::Mod => {
-            // Snap!'s mod: result takes the sign of the divisor.
-            let (x, y) = (a.to_number(), b.to_number());
-            Value::Number(x - y * (x / y).floor())
+        // Arithmetic has a single definition, shared with the bytecode VM.
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod | BinOp::Pow => {
+            let n = num_binop(op, a.to_number(), b.to_number()).expect("arith op");
+            Value::Number(n)
         }
-        BinOp::Pow => Value::Number(a.to_number().powf(b.to_number())),
         BinOp::Eq => Value::Bool(a.loose_eq(b)),
         BinOp::Ne => Value::Bool(!a.loose_eq(b)),
         BinOp::Lt => Value::Bool(a.snap_cmp(b) == std::cmp::Ordering::Less),
@@ -446,16 +553,8 @@ pub fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Value {
 pub fn eval_unop(op: UnOp, a: &Value) -> Value {
     match op {
         UnOp::Not => Value::Bool(!a.to_bool()),
-        UnOp::Neg => Value::Number(-a.to_number()),
-        UnOp::Abs => Value::Number(a.to_number().abs()),
-        UnOp::Sqrt => Value::Number(a.to_number().sqrt()),
-        UnOp::Round => Value::Number(a.to_number().round()),
-        UnOp::Floor => Value::Number(a.to_number().floor()),
-        UnOp::Ceil => Value::Number(a.to_number().ceil()),
-        UnOp::Sin => Value::Number(a.to_number().to_radians().sin()),
-        UnOp::Cos => Value::Number(a.to_number().to_radians().cos()),
-        UnOp::Ln => Value::Number(a.to_number().ln()),
-        UnOp::Exp => Value::Number(a.to_number().exp()),
+        // Numeric unops have a single definition, shared with the VM.
+        _ => Value::Number(num_unop(op, a.to_number()).expect("numeric unop")),
     }
 }
 
@@ -663,5 +762,109 @@ mod tests {
             compile_cached(&ring).is_err(),
             "failure is re-derived, not cached"
         );
+    }
+
+    #[test]
+    fn compile_cache_sweeps_dead_entries_periodically() {
+        // Dead Weak entries must not accumulate without bound even when
+        // the cache never reaches COMPILE_CACHE_CAP: the periodic sweep
+        // (every COMPILE_CACHE_SWEEP_INTERVAL insertions) evicts them.
+        let before = compile_cache_total_len();
+        for i in 0..(8 * COMPILE_CACHE_SWEEP_INTERVAL) {
+            let ring = Arc::new(Ring::reporter(add(empty_slot(), num(i as f64))));
+            let _ = compile_cached(&ring).unwrap();
+            // `ring` drops here, leaving a dead Weak in the cache.
+        }
+        let after = compile_cache_total_len();
+        // Other tests may insert live entries concurrently (the cache is
+        // global), so allow slack — but nowhere near the 512 dead rings
+        // inserted above.
+        assert!(
+            after <= before + COMPILE_CACHE_SWEEP_INTERVAL + 64,
+            "dead entries accumulated: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn compile_cache_slot_cannot_alias_recycled_ring_address() {
+        // Regression: the cache is keyed by Arc address. If ring A is
+        // dropped and ring B happens to be allocated at the same address,
+        // B must NOT be served A's compiled function. The stored Weak
+        // guards this (upgrade + ptr_eq); provoke an address reuse to
+        // prove it.
+        for _ in 0..512 {
+            let a = Arc::new(Ring::reporter(add(empty_slot(), num(1.0))));
+            let addr = Arc::as_ptr(&a) as usize;
+            let fa = compile_cached(&a).unwrap();
+            assert_eq!(fa.call1(2.into()).unwrap(), Value::Number(3.0));
+            drop(fa);
+            drop(a);
+            let b = Arc::new(Ring::reporter(mul(empty_slot(), num(3.0))));
+            if Arc::as_ptr(&b) as usize == addr {
+                // Address recycled: a stale hit would compute 2 + 1 = 3.
+                let fb = compile_cached(&b).unwrap();
+                assert_eq!(
+                    fb.call1(2.into()).unwrap(),
+                    Value::Number(6.0),
+                    "cache served the dropped ring's function for a \
+                     recycled address"
+                );
+                return;
+            }
+        }
+        // The allocator never reused the address: nothing to assert, the
+        // guard simply was not exercised on this run.
+    }
+
+    #[test]
+    fn strategy_dispatch_matches_lowering() {
+        // Pure arithmetic → unboxed numeric fast path.
+        let numeric = PureFn::compile(Arc::new(Ring::reporter(add(
+            mul(empty_slot(), num(2.0)),
+            num(1.0),
+        ))))
+        .unwrap();
+        assert_eq!(numeric.strategy(), CompiledStrategy::Numeric);
+        // List-producing ring → boxed bytecode.
+        let boxed = PureFn::compile(Arc::new(Ring::reporter(make_list(vec![
+            empty_slot(),
+            num(1.0),
+        ]))))
+        .unwrap();
+        assert_eq!(boxed.strategy(), CompiledStrategy::Bytecode);
+        // Higher-order ring → tree walk fallback.
+        let tree = PureFn::compile(Arc::new(Ring::reporter(map_over(
+            ring_reporter(add(empty_slot(), num(1.0))),
+            empty_slot(),
+        ))))
+        .unwrap();
+        assert_eq!(tree.strategy(), CompiledStrategy::TreeWalk);
+    }
+
+    #[test]
+    fn compiled_paths_agree_with_treewalk_oracle() {
+        let f = PureFn::compile(Arc::new(Ring::reporter(add(
+            mul(empty_slot(), num(10.0)),
+            num(0.5),
+        ))))
+        .unwrap();
+        assert_eq!(f.strategy(), CompiledStrategy::Numeric);
+        for v in [
+            Value::Number(3.25),
+            Value::Number(f64::NAN),
+            Value::Text("  7 ".into()),
+            Value::Bool(true),
+            Value::Nothing,
+            Value::list(vec![1.into()]),
+        ] {
+            let fast = f.call1(v.clone()).unwrap();
+            let slow = f.call_treewalk(std::slice::from_ref(&v)).unwrap();
+            match (&fast, &slow) {
+                (Value::Number(x), Value::Number(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "input {v:?}")
+                }
+                _ => assert_eq!(fast, slow, "input {v:?}"),
+            }
+        }
     }
 }

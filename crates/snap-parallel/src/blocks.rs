@@ -16,13 +16,13 @@
 use std::sync::Arc;
 
 use snap_ast::pure::compile_cached;
-use snap_ast::{EvalError, Ring, Value};
+use snap_ast::{BinOp, EvalError, Expr, Ring, RingBody, RingExprBody, Value};
 use snap_workers::{
     as_map_pair, ring_map_faulted, ring_map_pairs_faulted, ring_reduce_groups_faulted, ExecError,
     FaultPolicy, RingMapError, RingMapOptions,
 };
 
-use crate::shuffle::shuffle;
+use crate::shuffle::{combine_pairs, shuffle};
 
 /// Record one block-level degradation to sequential execution.
 fn record_degraded(block: &'static str, err: &ExecError) {
@@ -162,14 +162,100 @@ pub fn map_reduce_with_policy(
     )
 }
 
+/// Whether `mapReduce` may partially reduce pairs on the map side
+/// before the shuffle (see [`map_reduce_with_combine`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CombinePolicy {
+    /// Combine when the reducer is detected associative
+    /// ([`associative_fold_op`]) and the pair count makes it worthwhile.
+    #[default]
+    Auto,
+    /// Never combine: every mapper-emitted pair reaches the shuffle.
+    Disabled,
+}
+
+/// Below this many pairs the combiner's per-key bookkeeping costs more
+/// than the shuffle volume it saves.
+pub const COMBINE_MIN_PAIRS: usize = 32;
+
+/// Detect a reducer whose whole body is an associative fold, so partial
+/// per-chunk reductions can safely happen before the shuffle.
+///
+/// The check is deliberately *syntactic and conservative*: the body must
+/// be exactly `combine <vals> using (<a> ⊕ <b>)` where `<vals>` is the
+/// reducer's own value-list argument (its single named parameter, or an
+/// empty slot for implicit-parameter rings), the combining ring's
+/// operands are exactly its own two inputs, and `⊕` is `+` or `×` —
+/// associative *and* commutative, so regrouping values across worker
+/// chunks cannot change the result (word count's integer `+` is
+/// bit-exact; float folds accept the usual reassociation). Anything else
+/// — the climate example's `combine ÷ length`, identity reducers, `join`
+/// (order-sensitive), `-`/`/` (non-associative) — reports `None` and
+/// runs uncombined.
+pub fn associative_fold_op(reducer: &Ring) -> Option<BinOp> {
+    let body = match &reducer.body {
+        RingBody::Reporter(e) | RingBody::Predicate(e) => e,
+        RingBody::Command(_) => return None,
+    };
+    let Expr::Combine { list, ring } = body else {
+        return None;
+    };
+    let list_is_own_arg = match (&**list, reducer.params.as_slice()) {
+        (Expr::Var(name), [p]) => name == p,
+        (Expr::EmptySlot, []) => true,
+        _ => false,
+    };
+    if !list_is_own_arg {
+        return None;
+    }
+    let Expr::Ring(inner) = &**ring else {
+        return None;
+    };
+    let inner_body = match &inner.body {
+        RingExprBody::Reporter(e) | RingExprBody::Predicate(e) => e,
+        RingExprBody::Command(_) => return None,
+    };
+    let Expr::Binary(op, a, b) = &**inner_body else {
+        return None;
+    };
+    if !matches!(op, BinOp::Add | BinOp::Mul) {
+        return None;
+    }
+    let operands_are_own_inputs = match inner.params.as_slice() {
+        [] => matches!(**a, Expr::EmptySlot) && matches!(**b, Expr::EmptySlot),
+        [p0, p1] => {
+            matches!(&**a, Expr::Var(n) if n == p0) && matches!(&**b, Expr::Var(n) if n == p1)
+        }
+        _ => false,
+    };
+    operands_are_own_inputs.then_some(*op)
+}
+
 /// [`map_reduce`] with full execution options. Each phase degrades to
 /// its sequential path independently (a healthy reduce still runs
-/// pooled even when the map phase had to degrade).
+/// pooled even when the map phase had to degrade). Map-side combining
+/// runs under the default [`CombinePolicy::Auto`].
 pub fn map_reduce_with_options(
     mapper: Arc<Ring>,
     reducer: Arc<Ring>,
     items: Vec<Value>,
     options: RingMapOptions,
+) -> Result<Vec<Value>, EvalError> {
+    map_reduce_with_combine(mapper, reducer, items, options, CombinePolicy::Auto)
+}
+
+/// [`map_reduce`] with full execution options and an explicit
+/// [`CombinePolicy`]. Under `Auto`, when [`associative_fold_op`]
+/// recognizes the reducer, each worker partially reduces its chunk's
+/// pairs by key *before* the shuffle — shrinking shuffle volume from
+/// O(items) to O(workers × keys) with identical output (the reducer then
+/// folds per-chunk partials exactly as it would have folded raw values).
+pub fn map_reduce_with_combine(
+    mapper: Arc<Ring>,
+    reducer: Arc<Ring>,
+    items: Vec<Value>,
+    options: RingMapOptions,
+    combine: CombinePolicy,
 ) -> Result<Vec<Value>, EvalError> {
     let _span = snap_trace::span!("map_reduce", "items" => items.len());
     let fallback_items = items.clone();
@@ -186,6 +272,15 @@ pub fn map_reduce_with_options(
                 .map(as_map_pair)
                 .collect::<Result<Vec<(Value, Value)>, EvalError>>()?
         }
+    };
+    let pairs = match combine {
+        CombinePolicy::Auto if pairs.len() >= COMBINE_MIN_PAIRS => {
+            match associative_fold_op(&reducer) {
+                Some(op) => combine_pairs(pairs, op, options.workers, options.exec),
+                None => pairs,
+            }
+        }
+        _ => pairs,
     };
     let groups = shuffle(pairs);
     let fallback_groups = groups.clone();
@@ -319,6 +414,117 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 50);
+    }
+
+    fn word_count_mapper() -> Arc<Ring> {
+        Arc::new(Ring::reporter_with_params(
+            vec!["w".into()],
+            make_list(vec![var("w"), num(1.0)]),
+        ))
+    }
+
+    fn word_count_reducer() -> Arc<Ring> {
+        Arc::new(Ring::reporter_with_params(
+            vec!["vals".into()],
+            combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+        ))
+    }
+
+    #[test]
+    fn associative_detection_accepts_plain_folds() {
+        use super::associative_fold_op;
+        use snap_ast::BinOp;
+        // Named-parameter form: the word-count reducer.
+        assert_eq!(associative_fold_op(&word_count_reducer()), Some(BinOp::Add));
+        // Implicit-slot form: combine ( ) using (( ) × ( )).
+        let slots = Ring::reporter(combine_using(
+            empty_slot(),
+            ring_reporter(mul(empty_slot(), empty_slot())),
+        ));
+        assert_eq!(associative_fold_op(&slots), Some(BinOp::Mul));
+        // Named inner parameters.
+        let named_inner = Ring::reporter_with_params(
+            vec!["vals".into()],
+            combine_using(
+                var("vals"),
+                ring_reporter_with(vec!["a", "b"], add(var("a"), var("b"))),
+            ),
+        );
+        assert_eq!(associative_fold_op(&named_inner), Some(BinOp::Add));
+    }
+
+    #[test]
+    fn associative_detection_rejects_non_folds() {
+        use super::associative_fold_op;
+        // Climate reducer: combine ÷ length — the root is not the fold.
+        let climate = Ring::reporter_with_params(
+            vec!["vals".into()],
+            div(
+                combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+                length_of(var("vals")),
+            ),
+        );
+        assert_eq!(associative_fold_op(&climate), None);
+        // Identity reducer.
+        let identity = Ring::reporter_with_params(vec!["vals".into()], item(num(1.0), var("vals")));
+        assert_eq!(associative_fold_op(&identity), None);
+        // Non-associative operator.
+        let subtract = Ring::reporter_with_params(
+            vec!["vals".into()],
+            combine_using(var("vals"), ring_reporter(sub(empty_slot(), empty_slot()))),
+        );
+        assert_eq!(associative_fold_op(&subtract), None);
+        // Fold over something other than the reducer's own argument.
+        let wrong_list = Ring::reporter_with_params(
+            vec!["vals".into()],
+            combine_using(
+                make_list(vec![num(1.0), num(2.0)]),
+                ring_reporter(add(empty_slot(), empty_slot())),
+            ),
+        );
+        assert_eq!(associative_fold_op(&wrong_list), None);
+        // Inner ring using a captured/free variable, not its own inputs.
+        let free_var = Ring::reporter_with_params(
+            vec!["vals".into()],
+            combine_using(var("vals"), ring_reporter(add(empty_slot(), var("x")))),
+        );
+        assert_eq!(associative_fold_op(&free_var), None);
+    }
+
+    #[test]
+    fn combiner_output_matches_disabled_exactly() {
+        use super::{map_reduce_with_combine, CombinePolicy};
+        use snap_workers::RingMapOptions;
+        // A word corpus big enough to clear COMBINE_MIN_PAIRS, with heavy
+        // key repetition and case variation.
+        let words = ["the", "The", "fox", "dog", "THE", "a", "dog"];
+        let items: Vec<Value> = (0..400).map(|i| words[i % words.len()].into()).collect();
+        let options = RingMapOptions {
+            workers: 4,
+            ..Default::default()
+        };
+        let combined_before = snap_trace::well_known::SHUFFLE_PAIRS_COMBINED.get();
+        let on = map_reduce_with_combine(
+            word_count_mapper(),
+            word_count_reducer(),
+            items.clone(),
+            options,
+            CombinePolicy::Auto,
+        )
+        .unwrap();
+        assert!(
+            snap_trace::well_known::SHUFFLE_PAIRS_COMBINED.get() > combined_before,
+            "Auto must actually combine on an associative reducer"
+        );
+        let off = map_reduce_with_combine(
+            word_count_mapper(),
+            word_count_reducer(),
+            items,
+            options,
+            CombinePolicy::Disabled,
+        )
+        .unwrap();
+        assert_eq!(on, off, "combining must not change output or ordering");
     }
 
     #[test]

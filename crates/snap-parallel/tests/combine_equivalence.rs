@@ -1,0 +1,121 @@
+//! Acceptance tests for map-side combining on the word-count corpus.
+//!
+//! The PR's contract: on a realistic Zipf word corpus the combiner must
+//! cut shuffled pairs by **at least 5×** while leaving the `mapReduce`
+//! output — values *and* group ordering — bit-for-bit identical to the
+//! uncombined run.
+
+use std::sync::Arc;
+
+use snap_ast::builder::*;
+use snap_ast::{BinOp, Ring, Value};
+use snap_data::generate_words;
+use snap_parallel::{combine_pairs, map_reduce_with_combine, CombinePolicy};
+use snap_trace::well_known as metrics;
+use snap_workers::{ExecMode, RingMapOptions};
+
+fn word_count_mapper() -> Arc<Ring> {
+    Arc::new(Ring::reporter_with_params(
+        vec!["w".into()],
+        make_list(vec![var("w"), num(1.0)]),
+    ))
+}
+
+fn word_count_reducer() -> Arc<Ring> {
+    Arc::new(Ring::reporter_with_params(
+        vec!["vals".into()],
+        combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+    ))
+}
+
+/// The corpus used by the acceptance check: large enough that every
+/// worker chunk sees each common word many times.
+fn corpus(n: usize) -> Vec<Value> {
+    generate_words(n, 42).into_iter().map(Value::from).collect()
+}
+
+#[test]
+fn combiner_cuts_pairs_at_least_five_fold_on_word_corpus() {
+    // Deterministic, directly on the combiner: 20k Zipf words over a
+    // bounded vocabulary, 4 chunks → at most 4 × vocabulary pairs out.
+    let pairs: Vec<(Value, Value)> = corpus(20_000)
+        .into_iter()
+        .map(|w| (w, Value::Number(1.0)))
+        .collect();
+    let n_in = pairs.len();
+    let combined_before = metrics::SHUFFLE_PAIRS_COMBINED.get();
+    let runs_before = metrics::SHUFFLE_COMBINE_RUNS.get();
+    let out = combine_pairs(pairs, BinOp::Add, 4, ExecMode::Pooled);
+    assert!(
+        out.len() * 5 <= n_in,
+        "expected ≥5× pair reduction, got {} -> {}",
+        n_in,
+        out.len()
+    );
+    // The trace counters record exactly what was eliminated.
+    assert_eq!(
+        metrics::SHUFFLE_PAIRS_COMBINED.get() - combined_before,
+        (n_in - out.len()) as u64
+    );
+    assert_eq!(metrics::SHUFFLE_COMBINE_RUNS.get() - runs_before, 1);
+    // Totals survive: the partial sums still add up to the corpus size.
+    let total: f64 = out.iter().map(|(_, v)| v.to_number()).sum();
+    assert_eq!(total, n_in as f64);
+}
+
+#[test]
+fn combined_map_reduce_output_is_identical_to_uncombined() {
+    // End-to-end mapReduce on the word-count corpus: combiner on vs off
+    // must agree exactly, across worker counts, including output order.
+    let items = corpus(8_000);
+    for workers in [1, 2, 4, 8] {
+        let options = RingMapOptions {
+            workers,
+            ..Default::default()
+        };
+        let on = map_reduce_with_combine(
+            word_count_mapper(),
+            word_count_reducer(),
+            items.clone(),
+            options,
+            CombinePolicy::Auto,
+        )
+        .unwrap();
+        let off = map_reduce_with_combine(
+            word_count_mapper(),
+            word_count_reducer(),
+            items.clone(),
+            options,
+            CombinePolicy::Disabled,
+        )
+        .unwrap();
+        assert_eq!(on, off, "workers={workers}");
+    }
+}
+
+#[test]
+fn auto_policy_combines_on_the_word_corpus() {
+    // The default path (map_reduce → Auto) must actually engage the
+    // combiner for the associative word-count reducer.
+    let items = corpus(4_000);
+    let before = metrics::SHUFFLE_PAIRS_COMBINED.get();
+    let options = RingMapOptions {
+        workers: 4,
+        ..Default::default()
+    };
+    let out = snap_parallel::map_reduce_with_options(
+        word_count_mapper(),
+        word_count_reducer(),
+        items,
+        options,
+    )
+    .unwrap();
+    assert!(!out.is_empty());
+    // The corpus vocabulary is ~105 words; 4 chunks keep at most
+    // 4 × 105 pairs, so at least 4000 − 420 must have been eliminated.
+    let eliminated = metrics::SHUFFLE_PAIRS_COMBINED.get() - before;
+    assert!(
+        eliminated >= 4_000 - 4 * 105,
+        "Auto policy barely combined: only {eliminated} pairs eliminated"
+    );
+}

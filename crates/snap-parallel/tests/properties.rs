@@ -8,7 +8,8 @@ use proptest::prelude::*;
 
 use snap_ast::builder::*;
 use snap_ast::{Ring, Value};
-use snap_parallel::{map_reduce, parallel_map, shuffle};
+use snap_parallel::{map_reduce, map_reduce_with_combine, parallel_map, shuffle, CombinePolicy};
+use snap_workers::RingMapOptions;
 
 fn word_strategy() -> impl Strategy<Value = String> {
     "[a-e]{1,3}" // small alphabet → plenty of key collisions
@@ -125,5 +126,32 @@ proptest! {
         let backward: Vec<Value> = words.iter().map(|w| Value::text(w.clone())).collect();
         let b = map_reduce(mapper(), reducer(), backward, workers).unwrap();
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_side_combining_is_invisible_in_output(
+        words in prop::collection::vec(word_strategy(), 0..300),
+        workers in 1usize..9
+    ) {
+        // Word count with the combiner on vs forced off: identical
+        // output, including group ordering — integer `+` folds are exact
+        // however the pairs were pre-reduced across chunks.
+        let mapper = || Arc::new(Ring::reporter_with_params(
+            vec!["w".into()],
+            make_list(vec![var("w"), num(1.0)]),
+        ));
+        let reducer = || Arc::new(Ring::reporter_with_params(
+            vec!["vals".into()],
+            combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+        ));
+        let items: Vec<Value> = words.iter().map(|w| Value::text(w.clone())).collect();
+        let options = RingMapOptions { workers, ..Default::default() };
+        let on = map_reduce_with_combine(
+            mapper(), reducer(), items.clone(), options, CombinePolicy::Auto,
+        ).unwrap();
+        let off = map_reduce_with_combine(
+            mapper(), reducer(), items, options, CombinePolicy::Disabled,
+        ).unwrap();
+        prop_assert_eq!(on, off);
     }
 }

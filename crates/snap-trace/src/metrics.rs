@@ -349,12 +349,26 @@ pub mod well_known {
     /// Ring compile-cache misses (fresh compiles).
     pub static COMPILE_CACHE_MISSES: Counter = Counter::new("compile_cache.misses");
 
+    /// Rings lowered to bytecode (numeric or boxed) at compile time.
+    pub static RING_BYTECODE_COMPILES: Counter = Counter::new("ring.bytecode_compiles");
+    /// Ring calls served by the unboxed `f64` numeric fast path.
+    pub static RING_FASTPATH_CALLS: Counter = Counter::new("ring.fastpath_calls");
+    /// Ring calls served by boxed bytecode.
+    pub static RING_BYTECODE_CALLS: Counter = Counter::new("ring.bytecode_calls");
+    /// Ring calls that fell back to the tree-walking evaluator.
+    pub static RING_TREEWALK_CALLS: Counter = Counter::new("ring.treewalk_calls");
+
     /// Shuffles that took the sequential path.
     pub static SHUFFLE_SEQ_RUNS: Counter = Counter::new("shuffle.seq_runs");
     /// Shuffles that took the parallel (partition/sort/merge) path.
     pub static SHUFFLE_PARALLEL_RUNS: Counter = Counter::new("shuffle.parallel_runs");
     /// Pairs shuffled (both paths).
     pub static SHUFFLE_PAIRS: Counter = Counter::new("shuffle.pairs");
+    /// Map-side combiner runs (associative reducers only).
+    pub static SHUFFLE_COMBINE_RUNS: Counter = Counter::new("shuffle.combine_runs");
+    /// Pairs eliminated by the map-side combiner before the shuffle
+    /// (pairs in minus partially-reduced pairs out).
+    pub static SHUFFLE_PAIRS_COMBINED: Counter = Counter::new("shuffle.pairs_combined");
     /// Size of each hash partition in the parallel shuffle.
     pub static SHUFFLE_PARTITION_SIZE: Histogram = Histogram::new("shuffle.partition_size");
     /// Wall-time of the parallel shuffle's k-way merge, nanoseconds.
@@ -376,7 +390,7 @@ pub mod well_known {
 }
 
 /// Every well-known counter, for enumeration by reports.
-pub fn known_counters() -> [&'static Counter; 35] {
+pub fn known_counters() -> [&'static Counter; 41] {
     use well_known::*;
     [
         &POOL_JOBS_SUBMITTED,
@@ -404,9 +418,15 @@ pub fn known_counters() -> [&'static Counter; 35] {
         &RING_MAP_ITEMS,
         &COMPILE_CACHE_HITS,
         &COMPILE_CACHE_MISSES,
+        &RING_BYTECODE_COMPILES,
+        &RING_FASTPATH_CALLS,
+        &RING_BYTECODE_CALLS,
+        &RING_TREEWALK_CALLS,
         &SHUFFLE_SEQ_RUNS,
         &SHUFFLE_PARALLEL_RUNS,
         &SHUFFLE_PAIRS,
+        &SHUFFLE_COMBINE_RUNS,
+        &SHUFFLE_PAIRS_COMBINED,
         &DISTRIBUTED_MAPS,
         &DISTRIBUTED_ITEMS,
         &DIST_NODE_FAILURES,

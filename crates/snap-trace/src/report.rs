@@ -52,12 +52,15 @@ pub struct ExecutionReport {
 /// Snapshot the registry: counters, gauges, histograms, the global
 /// pool's per-worker totals, and a per-name summary of buffered spans.
 pub fn report() -> ExecutionReport {
+    // Every known counter is kept, zero or not: the machine-readable
+    // report is a *schema* — tools (trace_check, CI assertions) rely on
+    // a counter being present even when its subsystem never ran. The
+    // human table filters zeros for readability instead.
     let mut counters: Vec<(&'static str, u64)> = known_counters()
         .iter()
         .chain(vm_counters().iter())
         .map(|c| (c.name(), c.get()))
         .chain(dynamic_counters().iter().map(|c| (c.name(), c.get())))
-        .filter(|(_, v)| *v > 0)
         .collect();
     counters.sort_by_key(|(name, _)| *name);
 
@@ -140,10 +143,13 @@ impl ExecutionReport {
         let mut out = String::new();
         out.push_str("snap-trace execution report\n");
         out.push_str("  counters\n");
-        if self.counters.is_empty() {
+        // Zero counters stay in the JSON schema but would drown the
+        // human table; show only what actually fired.
+        let fired: Vec<_> = self.counters.iter().filter(|(_, v)| *v > 0).collect();
+        if fired.is_empty() {
             out.push_str("    (none)\n");
         }
-        for (name, value) in &self.counters {
+        for (name, value) in fired {
             let _ = writeln!(out, "    {name:<28} {value:>12}");
         }
         out.push_str("  gauges\n");

@@ -8,6 +8,15 @@
 //! Rust: compile the ring to a [`PureFn`] (compile-time purity check
 //! instead of "hope the JS works in the worker"), deep-copy each item
 //! across the thread boundary, evaluate, deep-copy the result back.
+//!
+//! Compilation goes further than the paper's `new Function`: the
+//! `PureFn` from [`compile_cached`] carries ring **bytecode** (an
+//! unboxed `f64` register program for numeric rings — see
+//! `snap_ast::bytecode`), so every execution path that flows through
+//! here — pooled, work-stolen, fault-retried, spawn-per-call — runs the
+//! compiled form per item, not a tree walk. The `ring.fastpath_calls` /
+//! `ring.bytecode_calls` / `ring.treewalk_calls` counters show which
+//! tier a run used.
 
 use std::fmt;
 use std::sync::Arc;
@@ -276,6 +285,40 @@ mod tests {
         assert_eq!(
             first_ten,
             vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
+        );
+    }
+
+    #[test]
+    fn pooled_map_runs_the_numeric_fastpath() {
+        // The bytecode threading contract: a numeric ring mapped on the
+        // pool must execute via the unboxed fast path per item, not the
+        // tree walk. Counters are global, so assert deltas: 64 items →
+        // at least 64 new fastpath calls, and the treewalk counter must
+        // not have absorbed them (other tests may add a few, so allow
+        // slack well below the item count).
+        let fast_before = snap_trace::well_known::RING_FASTPATH_CALLS.get();
+        let tree_before = snap_trace::well_known::RING_TREEWALK_CALLS.get();
+        let items: Vec<Value> = (0..64).map(|n| Value::Number(n as f64)).collect();
+        let out = ring_map(
+            times_ten(),
+            items,
+            RingMapOptions {
+                workers: 4,
+                exec: ExecMode::Pooled,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 64);
+        let fast_delta = snap_trace::well_known::RING_FASTPATH_CALLS.get() - fast_before;
+        let tree_delta = snap_trace::well_known::RING_TREEWALK_CALLS.get() - tree_before;
+        assert!(
+            fast_delta >= 64,
+            "expected ≥64 fastpath calls, saw {fast_delta}"
+        );
+        assert!(
+            tree_delta < 64,
+            "numeric ring fell back to the tree walk ({tree_delta} calls)"
         );
     }
 

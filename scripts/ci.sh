@@ -27,14 +27,25 @@ echo "==> validate emitted trace + report JSON"
 cargo run --release -p bench --bin trace_check -- \
   target/ci/concession_trace.json target/ci/concession_trace.json.report.json
 
+echo "==> traced example: word_count --trace (combiner must engage)"
+cargo run --release --example word_count -- --trace target/ci/word_count_trace.json \
+  > target/ci/word_count.txt
+
+echo "==> validate word_count trace + assert the map-side combiner ran"
+cargo run --release -p bench --bin trace_check -- \
+  target/ci/word_count_trace.json target/ci/word_count_trace.json.report.json \
+  --require-counter shuffle.pairs_combined --require-counter ring.bytecode_compiles
+
 echo "==> experiment report (target/ci/report_output.txt)"
 cargo run --release -p bench --bin report > target/ci/report_output.txt
 tail -n 5 target/ci/report_output.txt
 
-echo "==> bench smoke run + regression gate vs committed BENCH_3.json"
-scripts/bench.sh target/ci/BENCH_3.json
+echo "==> bench smoke run + regression gates (BENCH_3 carry-over + BENCH_5)"
+scripts/bench.sh target/ci/BENCH_5.json
 cargo run --release -p bench --bin trace_check -- \
-  --bench-json target/ci/BENCH_3.json --baseline BENCH_3.json
+  --bench-json target/ci/BENCH_5.json --baseline BENCH_3.json
+cargo run --release -p bench --bin trace_check -- \
+  --bench-json target/ci/BENCH_5.json --baseline BENCH_5.json
 
 echo "==> chaos: fault-injection stress under a fixed seed"
 mkdir -p target/ci/chaos

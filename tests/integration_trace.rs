@@ -29,6 +29,10 @@ fn traced_run_emits_reconcilable_trace_and_report() {
     assert_eq!(out[7], Value::Number(70.0));
 
     // --- a map_reduce big enough to cross the shuffle threshold -----
+    // The associative `+` reducer triggers map-side combining, so the
+    // key cardinality must be high enough that even the combined pair
+    // stream (≤ workers × keys) still crosses the parallel-shuffle
+    // threshold: 4 chunks × 700 keys ≈ 2800 ≥ 2048.
     let mapper = Arc::new(Ring::reporter_with_params(
         vec!["w".into()],
         make_list(vec![var("w"), num(1.0)]),
@@ -37,11 +41,11 @@ fn traced_run_emits_reconcilable_trace_and_report() {
         vec!["vals".into()],
         combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
     ));
-    let words: Vec<Value> = (0..PARALLEL_SHUFFLE_THRESHOLD + 500)
-        .map(|i| Value::text(format!("w{}", i % 97)))
+    let words: Vec<Value> = (0..3 * PARALLEL_SHUFFLE_THRESHOLD)
+        .map(|i| Value::text(format!("w{}", i % 700)))
         .collect();
     let groups = map_reduce(mapper, reducer, words, 4).expect("traced map_reduce runs");
-    assert_eq!(groups.len(), 97);
+    assert_eq!(groups.len(), 700);
 
     trace::set_enabled(false);
 
@@ -63,6 +67,7 @@ fn traced_run_emits_reconcilable_trace_and_report() {
         "exec.chunk",     // dynamic chunk claims
         "exec.map_slice", // the gather
         "ring_map",
+        "shuffle.combine", // map-side combiner on the associative reducer
         "shuffle.parallel",
         "shuffle.partition",
         "shuffle.sort",
@@ -104,6 +109,19 @@ fn traced_run_emits_reconcilable_trace_and_report() {
     assert!(report.counter("ring_map.items") >= 10_000);
     assert!(report.counter("shuffle.parallel_runs") >= 1);
     assert!(report.counter("compile_cache.misses") >= 1);
+
+    // --- ring bytecode + combiner counters --------------------------
+    // The ×10 map ring is numeric → every one of its 10k calls must run
+    // the unboxed fast path; the word-count mapper's make_list body runs
+    // boxed bytecode; the associative reducer engages the combiner.
+    assert!(report.counter("ring.bytecode_compiles") >= 2);
+    assert!(report.counter("ring.fastpath_calls") >= 10_000);
+    assert!(report.counter("ring.bytecode_calls") >= 1);
+    assert!(report.counter("shuffle.combine_runs") >= 1);
+    assert!(
+        report.counter("shuffle.pairs_combined") > 0,
+        "combiner must have eliminated pairs before the shuffle"
+    );
 
     // --- both report renderings carry the reconciled numbers --------
     let table = report.to_table();
