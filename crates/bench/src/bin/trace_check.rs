@@ -24,7 +24,8 @@
 //! compared against the committed baseline: the gated benches
 //! (`a1_job_churn/1`, `a1_nested_latency/outer2_inner8`,
 //! `a5_ring_eval/bytecode_fastpath`, `a5_word_count_combine/
-//! combiner_on`) fail the check when more than 25% slower than
+//! combiner_on`, `a6_batch_eval/eval_batch`, `a6_columnar_map/
+//! columnar_on`) fail the check when more than 25% slower than
 //! baseline, and the full comparison table is appended to
 //! `$GITHUB_STEP_SUMMARY` when that variable is set. Exits non-zero if
 //! a file is missing, fails to parse, lacks its required structure,
@@ -72,7 +73,7 @@ fn check_trace(path: &str) -> Result<(), String> {
 
 /// Counters every `ExecutionReport` JSON must carry — the observability
 /// contract each subsystem PR extends. PR 5 added the ring-bytecode
-/// tiers and the map-side combiner.
+/// tiers and the map-side combiner; PR 6 added the columnar batch tier.
 const REQUIRED_REPORT_COUNTERS: &[&str] = &[
     "pool.jobs_executed",
     "compile_cache.hits",
@@ -81,6 +82,10 @@ const REQUIRED_REPORT_COUNTERS: &[&str] = &[
     "ring.fastpath_calls",
     "ring.bytecode_calls",
     "ring.treewalk_calls",
+    "ring.batch_calls",
+    "ring.batch_elems",
+    "ring.batch_fallbacks",
+    "par.columnar_chunks",
     "shuffle.pairs",
     "shuffle.combine_runs",
     "shuffle.pairs_combined",
@@ -156,11 +161,15 @@ fn check_bench_json(path: &str) -> Result<(), String> {
 /// hosts, unlike the saturation benches that swing with core count.
 /// The `a5` pair gates the ring-bytecode fast path and the map-side
 /// combiner: both are per-item/per-pair CPU work, stable on one core.
+/// The `a6` pair gates the columnar batch tier: the raw `eval_batch`
+/// lane loops and the end-to-end columnar `parallelMap` pipeline.
 const GATED_BENCHES: &[&str] = &[
     "a1_job_churn/1",
     "a1_nested_latency/outer2_inner8",
     "a5_ring_eval/bytecode_fastpath",
     "a5_word_count_combine/combiner_on",
+    "a6_batch_eval/eval_batch",
+    "a6_columnar_map/columnar_on",
 ];
 
 /// Regression tolerance for gated benches: fail when `current` is more

@@ -298,8 +298,17 @@ enum NumInstr {
     Un(UnOp, Reg, Reg),
 }
 
-/// Registers kept on the stack for programs at most this wide.
+/// Register-file width of the numeric fast path. Numeric lowering
+/// *declines* programs wider than this (they fall back to boxed
+/// bytecode), so both [`NumProgram::call`] and [`NumProgram::eval_batch`]
+/// run on fixed-size stack arrays with no heap branch.
 const NUM_STACK_REGS: usize = 32;
+
+/// Elements per batch block in [`NumProgram::eval_batch`]. The register
+/// file is `NUM_STACK_REGS × BATCH_LANES` `f64`s (16 KiB) — small enough
+/// for worker stacks, wide enough that the lane loops amortize the
+/// per-instruction dispatch and autovectorize.
+pub const BATCH_LANES: usize = 64;
 
 /// A lowered ring body proven numeric: executes entirely in unboxed
 /// `f64` registers and always reports a `Value::Number`.
@@ -309,6 +318,66 @@ pub struct NumProgram {
     instrs: Vec<NumInstr>,
     regs: usize,
     out: Reg,
+}
+
+/// One lane loop of a batch binary op. Dispatching on `op` **once**,
+/// outside the element loop, is what lets the optimizer turn each arm's
+/// plain indexed loop into SIMD; every arm still computes through
+/// [`num_binop`], so batch results cannot diverge from the scalar path.
+#[inline]
+fn batch_binop(op: BinOp, a: &[f64], b: &[f64], dst: &mut [f64]) {
+    #[inline(always)]
+    fn lanes(a: &[f64], b: &[f64], dst: &mut [f64], f: impl Fn(f64, f64) -> f64) {
+        for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *d = f(x, y);
+        }
+    }
+    // One macro expansion per arm: each closure is a distinct type, so
+    // every operator gets its own monomorphized lane loop with the op
+    // folded to a constant.
+    macro_rules! arm {
+        ($op:expr) => {
+            lanes(a, b, dst, |x, y| num_binop($op, x, y).expect("arith op"))
+        };
+    }
+    match op {
+        BinOp::Add => arm!(BinOp::Add),
+        BinOp::Sub => arm!(BinOp::Sub),
+        BinOp::Mul => arm!(BinOp::Mul),
+        BinOp::Div => arm!(BinOp::Div),
+        BinOp::Mod => arm!(BinOp::Mod),
+        BinOp::Pow => arm!(BinOp::Pow),
+        _ => unreachable!("non-arithmetic op in a numeric program"),
+    }
+}
+
+/// One lane loop of a batch unary op (see [`batch_binop`]).
+#[inline]
+fn batch_unop(op: UnOp, a: &[f64], dst: &mut [f64]) {
+    #[inline(always)]
+    fn lanes(a: &[f64], dst: &mut [f64], f: impl Fn(f64) -> f64) {
+        for (d, &x) in dst.iter_mut().zip(a) {
+            *d = f(x);
+        }
+    }
+    macro_rules! arm {
+        ($op:expr) => {
+            lanes(a, dst, |x| num_unop($op, x).expect("numeric op"))
+        };
+    }
+    match op {
+        UnOp::Neg => arm!(UnOp::Neg),
+        UnOp::Abs => arm!(UnOp::Abs),
+        UnOp::Sqrt => arm!(UnOp::Sqrt),
+        UnOp::Round => arm!(UnOp::Round),
+        UnOp::Floor => arm!(UnOp::Floor),
+        UnOp::Ceil => arm!(UnOp::Ceil),
+        UnOp::Sin => arm!(UnOp::Sin),
+        UnOp::Cos => arm!(UnOp::Cos),
+        UnOp::Ln => arm!(UnOp::Ln),
+        UnOp::Exp => arm!(UnOp::Exp),
+        UnOp::Not => unreachable!("non-numeric op in a numeric program"),
+    }
 }
 
 impl NumProgram {
@@ -322,14 +391,11 @@ impl NumProgram {
                 });
             }
         }
+        // Lowering declines programs wider than NUM_STACK_REGS, so the
+        // register file is always this fixed stack array.
+        debug_assert!(self.regs <= NUM_STACK_REGS);
         let mut stack = [0.0f64; NUM_STACK_REGS];
-        let mut heap;
-        let regs: &mut [f64] = if self.regs <= NUM_STACK_REGS {
-            &mut stack[..self.regs]
-        } else {
-            heap = vec![0.0f64; self.regs];
-            &mut heap
-        };
+        let regs: &mut [f64] = &mut stack[..self.regs];
         for instr in &self.instrs {
             match *instr {
                 NumInstr::Const(v, dst) => regs[dst as usize] = v,
@@ -352,6 +418,76 @@ impl NumProgram {
             }
         }
         Ok(Value::Number(regs[self.out as usize]))
+    }
+
+    /// `true` when [`NumProgram::eval_batch`] covers this program: every
+    /// element of a batch is the program's **single** numeric argument.
+    /// That holds for slot-style rings (`arity == None` — with exactly
+    /// one argument, every empty slot receives it) and one-parameter
+    /// rings (`arity == Some(1)` — `Arg(0)` is the element). Multi-arg
+    /// rings keep the scalar path.
+    pub fn batchable(&self) -> bool {
+        matches!(self.arity, None | Some(1))
+    }
+
+    /// Evaluate the program over every element of `inputs`, appending
+    /// one output per element to `out` — the columnar batch tier.
+    ///
+    /// Each `inputs[i]` is treated exactly as `call(&[Value::Number(
+    /// inputs[i])])` would treat its argument (`to_number` of a `Number`
+    /// is the identity, so results are bit-identical, -0.0/±inf/
+    /// subnormals included — enforced by the `batch_diff` differential
+    /// suite). NaN *payload* bits are the one exemption: when two NaNs
+    /// meet at a commutable op, operand order decides which payload
+    /// propagates, and the optimizer may order the scalar and batch
+    /// loops differently (IEEE 754 only requires *a* quiet NaN).
+    /// The loop structure is instruction-outer / element-inner over
+    /// [`BATCH_LANES`]-wide blocks: per-element dispatch disappears and
+    /// the plain indexed lane loops autovectorize.
+    ///
+    /// # Panics
+    /// Debug-asserts [`NumProgram::batchable`]; on a non-batchable
+    /// program the per-element semantics would be wrong, so callers must
+    /// check first.
+    pub fn eval_batch(&self, inputs: &[f64], out: &mut Vec<f64>) {
+        debug_assert!(self.batchable(), "eval_batch on a non-batchable program");
+        out.reserve(inputs.len());
+        // Lane-contiguous, register-major file: register r's lanes are
+        // `file[r*BATCH_LANES .. r*BATCH_LANES + n]`.
+        let mut file = [0.0f64; NUM_STACK_REGS * BATCH_LANES];
+        for block in inputs.chunks(BATCH_LANES) {
+            let n = block.len();
+            for instr in &self.instrs {
+                match *instr {
+                    NumInstr::Const(v, dst) => {
+                        file[dst as usize * BATCH_LANES..][..n].fill(v);
+                    }
+                    // The whole block is the single argument: parameter
+                    // loads and every empty slot read the element.
+                    NumInstr::Arg(_, dst) | NumInstr::Slot(_, dst) => {
+                        file[dst as usize * BATCH_LANES..][..n].copy_from_slice(block);
+                    }
+                    NumInstr::Bin(op, a, b, dst) => {
+                        // Operand registers are always allocated before
+                        // their consumer, so dst strictly exceeds a and
+                        // b: split_at_mut yields disjoint slices without
+                        // aliasing checks in the lane loop.
+                        let (src, rest) = file.split_at_mut(dst as usize * BATCH_LANES);
+                        batch_binop(
+                            op,
+                            &src[a as usize * BATCH_LANES..][..n],
+                            &src[b as usize * BATCH_LANES..][..n],
+                            &mut rest[..n],
+                        );
+                    }
+                    NumInstr::Un(op, a, dst) => {
+                        let (src, rest) = file.split_at_mut(dst as usize * BATCH_LANES);
+                        batch_unop(op, &src[a as usize * BATCH_LANES..][..n], &mut rest[..n]);
+                    }
+                }
+            }
+            out.extend_from_slice(&file[self.out as usize * BATCH_LANES..][..n]);
+        }
     }
 
     /// Instruction count (diagnostics / tests).
@@ -767,6 +903,12 @@ fn lower_numeric(ring: &Ring, expr: &Expr) -> Option<NumProgram> {
     };
     let out = b.emit(expr)?;
     let out = b.materialize(out)?;
+    // Wider than the fixed register file → decline; the ring still
+    // compiles, as boxed bytecode (the fallback ladder's next tier), so
+    // the scalar and batch executors never need a heap register branch.
+    if b.next_reg > NUM_STACK_REGS {
+        return None;
+    }
     Some(NumProgram {
         arity: arity_of(ring),
         instrs: b.instrs,
@@ -932,6 +1074,93 @@ mod tests {
     }
 
     #[test]
+    fn eval_batch_matches_scalar_calls_bitwise() {
+        // The a5 bench ring: ((x × 2) + (x mod 7)) ÷ 3, slot-style.
+        let lowered = lower_ring(Ring::reporter(div(
+            add(mul(empty_slot(), num(2.0)), modulo(empty_slot(), num(7.0))),
+            num(3.0),
+        )))
+        .unwrap();
+        let p = match lowered {
+            Lowered::Numeric(p) => p,
+            Lowered::Boxed(_) => panic!("expected numeric"),
+        };
+        assert!(p.batchable());
+        // Cross a block boundary (> BATCH_LANES elements) and include
+        // the awkward values.
+        let mut inputs: Vec<f64> = (0..(BATCH_LANES * 2 + 17))
+            .map(|i| i as f64 * 0.37)
+            .collect();
+        inputs.extend([
+            f64::NAN,
+            -0.0,
+            0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            5e-324,
+        ]);
+        let mut batch = Vec::new();
+        p.eval_batch(&inputs, &mut batch);
+        assert_eq!(batch.len(), inputs.len());
+        for (&x, &got) in inputs.iter().zip(&batch) {
+            let scalar = match p.call(&[Value::Number(x)]).unwrap() {
+                Value::Number(n) => n,
+                other => panic!("non-number: {other:?}"),
+            };
+            // NaN payloads are exempt: operand order at a commutable op
+            // decides which payload propagates, and the optimizer may
+            // pick differently for the scalar and batch loops.
+            assert!(
+                got.to_bits() == scalar.to_bits() || (got.is_nan() && scalar.is_nan()),
+                "input {x}: batch {got:?} vs scalar {scalar:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_batch_handles_empty_input() {
+        let lowered = lower_ring(Ring::reporter(mul(empty_slot(), num(10.0)))).unwrap();
+        let p = match lowered {
+            Lowered::Numeric(p) => p,
+            Lowered::Boxed(_) => panic!("expected numeric"),
+        };
+        let mut out = Vec::new();
+        p.eval_batch(&[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multi_parameter_programs_are_not_batchable() {
+        let lowered = lower_ring(Ring::reporter_with_params(
+            vec!["a".into(), "b".into()],
+            add(var("a"), var("b")),
+        ))
+        .unwrap();
+        let p = match lowered {
+            Lowered::Numeric(p) => p,
+            Lowered::Boxed(_) => panic!("expected numeric"),
+        };
+        assert!(!p.batchable());
+    }
+
+    #[test]
+    fn wide_numeric_rings_decline_to_boxed_bytecode() {
+        // A 40-term chain of x + x + … needs ~40 live registers — over
+        // the NUM_STACK_REGS file. Numeric lowering must decline (not
+        // fail), leaving boxed bytecode with identical results.
+        let mut expr = var("x");
+        for _ in 0..40 {
+            expr = add(expr, var("x"));
+        }
+        let lowered = lower_ring(Ring::reporter_with_params(vec!["x".into()], expr)).unwrap();
+        let p = match lowered {
+            Lowered::Boxed(p) => p,
+            Lowered::Numeric(_) => panic!("40-term chain cannot fit the numeric register file"),
+        };
+        assert_eq!(p.call(&[Value::Number(1.0)]).unwrap(), Value::Number(41.0));
+    }
+
+    #[test]
     fn num_cores_match_eval_ops() {
         for op in [
             BinOp::Add,
@@ -948,6 +1177,11 @@ mod tests {
                 (0.0, 0.0),
                 (1e300, 2.0),
             ] {
+                // black_box keeps the optimizer from constant-folding
+                // either side (LLVM's folded 0/0 NaN sign differs from
+                // the hardware divide's) — the point is to compare the
+                // *runtime* cores.
+                let (x, y) = (std::hint::black_box(x), std::hint::black_box(y));
                 let folded = num_binop(op, x, y).unwrap();
                 let evaled = match eval_binop(op, &Value::Number(x), &Value::Number(y)) {
                     Value::Number(n) => n,

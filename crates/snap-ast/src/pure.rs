@@ -153,6 +153,39 @@ impl PureFn {
     pub fn call1(&self, arg: Value) -> Result<Value, EvalError> {
         self.call(std::slice::from_ref(&arg))
     }
+
+    /// `true` when [`PureFn::eval_batch`] covers this function: it
+    /// compiled to the numeric fast path *and* takes each batch element
+    /// as its single argument (slot-style or one-parameter ring).
+    pub fn is_batchable(&self) -> bool {
+        match &self.compiled {
+            Compiled::Numeric(p) => p.batchable(),
+            _ => false,
+        }
+    }
+
+    /// Evaluate a whole chunk of unboxed numbers at once — the columnar
+    /// batch tier. Appends one output per input to `out` and returns
+    /// `true`; returns `false` (appending nothing) when the function is
+    /// not batchable, so callers fall back to per-element [`call1`].
+    ///
+    /// Each element is treated exactly as `call1(Value::Number(x))`
+    /// treats its argument; results are bit-identical to the scalar fast
+    /// path and the tree walk (-0.0/±inf/subnormals included; NaN
+    /// payload bits excepted — see [`NumProgram::eval_batch`]). Numeric
+    /// programs cannot raise: arity was proven compatible, so the only
+    /// scalar failure mode (`ArityMismatch`) is impossible here.
+    pub fn eval_batch(&self, inputs: &[f64], out: &mut Vec<f64>) -> bool {
+        match &self.compiled {
+            Compiled::Numeric(p) if p.batchable() => {
+                snap_trace::well_known::RING_BATCH_CALLS.incr();
+                snap_trace::well_known::RING_BATCH_ELEMS.add(inputs.len() as u64);
+                p.eval_batch(inputs, out);
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 /// Upper bound on live compile-cache entries; reached only by programs

@@ -12,6 +12,15 @@
 //! are the exception: a deadline is a promise to the caller, so they
 //! propagate as errors instead of being quietly absorbed by a slower
 //! sequential pass.
+//!
+//! Both `parallelMap` and the `mapReduce` map phase route through
+//! `ring_map_faulted`, which detects all-numeric lists at entry and runs
+//! them on the **columnar batch tier** (flat `f64` chunks, one
+//! `eval_batch` per chunk — see `snap_workers::ColumnarPolicy`). The
+//! `mapReduce` mapper typically produces `[key, value]` lists and so
+//! stays boxed, but a numeric mapper feeding the shuffle batches too:
+//! boxing happens at the pair-validation seam, never inside the map
+//! loop.
 
 use std::sync::Arc;
 
@@ -539,5 +548,21 @@ mod tests {
                 "worker count {workers} changed the result"
             );
         }
+    }
+
+    #[test]
+    fn parallel_map_engages_the_columnar_tier() {
+        // The block-level contract of the batch tier: a numeric
+        // parallelMap over an all-Number list must flow through
+        // eval_batch chunks, and produce the per-element results.
+        let chunks_before = snap_trace::well_known::PAR_COLUMNAR_CHUNKS.get();
+        let batch_before = snap_trace::well_known::RING_BATCH_ELEMS.get();
+        let ring = Arc::new(Ring::reporter(pow(empty_slot(), num(2.0))));
+        let items: Vec<Value> = (1..=1000).map(|n| Value::Number(n as f64)).collect();
+        let out = parallel_map(ring, items, 4).unwrap();
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out[9], Value::Number(100.0));
+        assert!(snap_trace::well_known::PAR_COLUMNAR_CHUNKS.get() > chunks_before);
+        assert!(snap_trace::well_known::RING_BATCH_ELEMS.get() >= batch_before + 1000);
     }
 }

@@ -1,0 +1,168 @@
+//! Acceptance tests for the columnar batch tier at the blocks layer:
+//! with `ColumnarPolicy::Auto`, `parallelMap` and `mapReduce` must
+//! produce output — values *and* ordering — bit-for-bit identical to
+//! the per-element (`Disabled`) runs, on both the numeric climate
+//! workload (which batches) and the word-count corpus (whose
+//! list-producing mapper falls back to boxed per-element calls).
+
+use std::sync::Arc;
+
+use snap_ast::builder::*;
+use snap_ast::{Ring, Value};
+use snap_data::{generate_noaa, generate_words, NoaaConfig};
+use snap_parallel::{map_reduce_with_options, parallel_map_with_options};
+use snap_trace::well_known as metrics;
+use snap_workers::{ColumnarPolicy, RingMapOptions};
+
+fn options(columnar: ColumnarPolicy) -> RingMapOptions {
+    RingMapOptions {
+        workers: 4,
+        columnar,
+        ..Default::default()
+    }
+}
+
+/// °F → °C as a one-parameter ring: 5 × (t − 32) ÷ 9.
+fn f_to_c_ring() -> Arc<Ring> {
+    Arc::new(Ring::reporter_with_params(
+        vec!["t".into()],
+        div(mul(num(5.0), sub(var("t"), num(32.0))), num(9.0)),
+    ))
+}
+
+/// Bit-exact elementwise comparison for number lists, modulo NaN
+/// payloads (any NaN matches any NaN): which payload propagates when
+/// two NaNs meet at a commutable op is an instruction-operand-order
+/// artifact the optimizer may pick differently for the scalar and
+/// vectorized loops. Signed zeros, infinities and subnormals are exact.
+fn assert_numbers_bits_eq(a: &[Value], b: &[Value]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        match (x, y) {
+            (Value::Number(p), Value::Number(q)) => assert!(
+                p.to_bits() == q.to_bits() || (p.is_nan() && q.is_nan()),
+                "element {i}: {p:?} vs {q:?}"
+            ),
+            _ => assert_eq!(x, y, "element {i}"),
+        }
+    }
+}
+
+#[test]
+fn climate_parallel_map_columnar_on_off_are_identical() {
+    let dataset = generate_noaa(&NoaaConfig {
+        stations: 10,
+        years: 10,
+        readings_per_year: 52,
+        ..NoaaConfig::default()
+    });
+    let temps = dataset.temps_f_values();
+    let chunks_before = metrics::PAR_COLUMNAR_CHUNKS.get();
+    let on = parallel_map_with_options(f_to_c_ring(), temps.clone(), options(ColumnarPolicy::Auto))
+        .unwrap();
+    assert!(
+        metrics::PAR_COLUMNAR_CHUNKS.get() > chunks_before,
+        "the all-numeric climate map must take the columnar tier"
+    );
+    let off =
+        parallel_map_with_options(f_to_c_ring(), temps, options(ColumnarPolicy::Disabled)).unwrap();
+    assert_numbers_bits_eq(&on, &off);
+}
+
+#[test]
+fn awkward_floats_survive_the_columnar_tier_bitwise() {
+    // parallelMap over the IEEE specials: ordering and bits must match
+    // the per-element path exactly.
+    let mut inputs: Vec<Value> = (0..40).map(|i| Value::Number(i as f64 * 1.7)).collect();
+    for special in [
+        f64::NAN,
+        f64::from_bits(0x7ff8_0000_dead_beef),
+        -0.0,
+        0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        5e-324,
+    ] {
+        inputs.push(Value::Number(special));
+    }
+    let ring = Arc::new(Ring::reporter(add(
+        mul(empty_slot(), num(0.1)),
+        modulo(empty_slot(), num(7.0)),
+    )));
+    let on = parallel_map_with_options(ring.clone(), inputs.clone(), options(ColumnarPolicy::Auto))
+        .unwrap();
+    let off = parallel_map_with_options(ring, inputs, options(ColumnarPolicy::Disabled)).unwrap();
+    assert_numbers_bits_eq(&on, &off);
+}
+
+#[test]
+fn word_count_map_reduce_columnar_on_off_are_identical() {
+    // The word-count mapper produces [word, 1] lists — not batchable —
+    // so Auto must fall back cleanly and change nothing, including key
+    // ordering.
+    let mapper = Arc::new(Ring::reporter_with_params(
+        vec!["w".into()],
+        make_list(vec![var("w"), num(1.0)]),
+    ));
+    let reducer = Arc::new(Ring::reporter_with_params(
+        vec!["vals".into()],
+        combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+    ));
+    let words: Vec<Value> = generate_words(5_000, 42)
+        .into_iter()
+        .map(Value::from)
+        .collect();
+    let fallback_before = metrics::RING_BATCH_FALLBACKS.get();
+    let on = map_reduce_with_options(
+        mapper.clone(),
+        reducer.clone(),
+        words.clone(),
+        options(ColumnarPolicy::Auto),
+    )
+    .unwrap();
+    assert!(
+        metrics::RING_BATCH_FALLBACKS.get() > fallback_before,
+        "the boxed word-count mapper must count a columnar fallback"
+    );
+    let off =
+        map_reduce_with_options(mapper, reducer, words, options(ColumnarPolicy::Disabled)).unwrap();
+    assert_eq!(on, off, "columnar fallback changed mapReduce output");
+}
+
+#[test]
+fn climate_map_reduce_columnar_on_off_are_identical() {
+    // The full climate pipeline (list-producing mapper, averaging
+    // reducer) under both policies: the map phase falls back, the
+    // output must be unchanged.
+    let mapper = Arc::new(Ring::reporter_with_params(
+        vec!["t".into()],
+        make_list(vec![
+            text("avg"),
+            div(mul(num(5.0), sub(var("t"), num(32.0))), num(9.0)),
+        ]),
+    ));
+    let reducer = Arc::new(Ring::reporter_with_params(
+        vec!["vals".into()],
+        div(
+            combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+            length_of(var("vals")),
+        ),
+    ));
+    let temps = generate_noaa(&NoaaConfig {
+        stations: 5,
+        years: 5,
+        readings_per_year: 24,
+        ..NoaaConfig::default()
+    })
+    .temps_f_values();
+    let on = map_reduce_with_options(
+        mapper.clone(),
+        reducer.clone(),
+        temps.clone(),
+        options(ColumnarPolicy::Auto),
+    )
+    .unwrap();
+    let off =
+        map_reduce_with_options(mapper, reducer, temps, options(ColumnarPolicy::Disabled)).unwrap();
+    assert_eq!(on, off);
+}

@@ -357,6 +357,15 @@ pub mod well_known {
     pub static RING_BYTECODE_CALLS: Counter = Counter::new("ring.bytecode_calls");
     /// Ring calls that fell back to the tree-walking evaluator.
     pub static RING_TREEWALK_CALLS: Counter = Counter::new("ring.treewalk_calls");
+    /// `eval_batch` invocations — each covers a whole chunk of elements.
+    pub static RING_BATCH_CALLS: Counter = Counter::new("ring.batch_calls");
+    /// Elements evaluated by `eval_batch` (no per-element dispatch).
+    pub static RING_BATCH_ELEMS: Counter = Counter::new("ring.batch_elems");
+    /// Maps that considered the columnar batch tier but declined it
+    /// (non-batchable ring, or non-numeric elements in the list).
+    pub static RING_BATCH_FALLBACKS: Counter = Counter::new("ring.batch_fallbacks");
+    /// Flat `f64` chunks executed by the columnar map path.
+    pub static PAR_COLUMNAR_CHUNKS: Counter = Counter::new("par.columnar_chunks");
 
     /// Shuffles that took the sequential path.
     pub static SHUFFLE_SEQ_RUNS: Counter = Counter::new("shuffle.seq_runs");
@@ -390,7 +399,7 @@ pub mod well_known {
 }
 
 /// Every well-known counter, for enumeration by reports.
-pub fn known_counters() -> [&'static Counter; 41] {
+pub fn known_counters() -> [&'static Counter; 45] {
     use well_known::*;
     [
         &POOL_JOBS_SUBMITTED,
@@ -422,6 +431,10 @@ pub fn known_counters() -> [&'static Counter; 41] {
         &RING_FASTPATH_CALLS,
         &RING_BYTECODE_CALLS,
         &RING_TREEWALK_CALLS,
+        &RING_BATCH_CALLS,
+        &RING_BATCH_ELEMS,
+        &RING_BATCH_FALLBACKS,
+        &PAR_COLUMNAR_CHUNKS,
         &SHUFFLE_SEQ_RUNS,
         &SHUFFLE_PARALLEL_RUNS,
         &SHUFFLE_PAIRS,

@@ -61,9 +61,28 @@ pub fn global_pool() -> &'static WorkerPool {
     })
 }
 
-/// Dynamic-scheduling block size: ~4 blocks per worker, never zero.
+/// Dynamic-scheduling block size: ~2 blocks per worker, never zero.
+///
+/// Two blocks per worker (down from the original four) still gives
+/// dynamic claiming one round of rebalancing slack while halving the
+/// per-block claim overhead — the a1_strategy_skewed ablation showed
+/// four blocks losing to static scheduling on uniform numeric work.
 pub fn chunk_size(len: usize, workers: usize) -> usize {
-    (len / (workers.max(1) * 4)).max(1)
+    (len / (workers.max(1) * 2)).max(1)
+}
+
+/// Minimum elements per columnar chunk. Claiming a chunk costs one
+/// atomic fetch-add plus a pool hand-off; `eval_batch` needs at least a
+/// few hundred elements per chunk for that overhead to vanish.
+pub const COLUMNAR_MIN_CHUNK: usize = 256;
+
+/// Chunk size for columnar (flat `f64`) maps: ~2 chunks per worker like
+/// [`chunk_size`], but floored at [`COLUMNAR_MIN_CHUNK`] elements —
+/// numeric batch work is so cheap per element that finer chunks are all
+/// scheduling overhead. The floor applies only to the columnar tier;
+/// latency-bound boxed maps keep the fine-grained sizing above.
+pub fn columnar_chunk_size(len: usize, workers: usize) -> usize {
+    chunk_size(len, workers).max(COLUMNAR_MIN_CHUNK)
 }
 
 /// Run `body(0..tasks)` concurrently and return once all calls finish.
@@ -477,10 +496,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn chunk_size_leaves_four_blocks_per_worker() {
-        assert_eq!(chunk_size(1000, 5), 50);
+    fn chunk_size_leaves_two_blocks_per_worker() {
+        assert_eq!(chunk_size(1000, 5), 100);
         assert_eq!(chunk_size(3, 8), 1);
         assert_eq!(chunk_size(0, 4), 1);
+    }
+
+    #[test]
+    fn columnar_chunk_size_is_floored() {
+        // Small inputs: one chunk swallows everything up to the floor.
+        assert_eq!(columnar_chunk_size(1000, 4), COLUMNAR_MIN_CHUNK);
+        // Large inputs: ~2 chunks per worker, same as chunk_size.
+        assert_eq!(columnar_chunk_size(1_000_000, 4), 125_000);
     }
 
     #[test]

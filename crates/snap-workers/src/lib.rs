@@ -33,11 +33,15 @@ pub mod parallel;
 pub mod pool;
 pub mod ring_fn;
 
-pub use executor::{global_pool, map_slice_with, try_map_slice_with, ExecMode};
+pub use executor::{
+    columnar_chunk_size, global_pool, map_slice_with, try_map_slice_with, ExecMode,
+    COLUMNAR_MIN_CHUNK,
+};
 pub use fault::{install_injector, panic_message, ExecError, FaultInjector, FaultPolicy};
 pub use parallel::{default_workers, map_slice, Parallel, Strategy};
 pub use pool::{PoolClosed, WorkerPool};
 pub use ring_fn::{
     as_map_pair, ring_map, ring_map_faulted, ring_map_pairs, ring_map_pairs_faulted,
-    ring_reduce_groups, ring_reduce_groups_faulted, Isolation, RingMapError, RingMapOptions,
+    ring_reduce_groups, ring_reduce_groups_faulted, ColumnarPolicy, Isolation, RingMapError,
+    RingMapOptions, COLUMNAR_MIN_ITEMS,
 };

@@ -14,17 +14,21 @@
 //! unboxed `f64` register program for numeric rings — see
 //! `snap_ast::bytecode`), so every execution path that flows through
 //! here — pooled, work-stolen, fault-retried, spawn-per-call — runs the
-//! compiled form per item, not a tree walk. The `ring.fastpath_calls` /
-//! `ring.bytecode_calls` / `ring.treewalk_calls` counters show which
-//! tier a run used.
+//! compiled form per item, not a tree walk. On top of that sits the
+//! **columnar batch tier**: when the ring is batchable and every list
+//! element is a `Value::Number`, the map unboxes the list once, moves
+//! flat `f64` chunks through the pool, and runs `eval_batch` per chunk
+//! with no per-element dispatch at all (see [`ColumnarPolicy`]). The
+//! `ring.batch_calls` / `ring.fastpath_calls` / `ring.bytecode_calls` /
+//! `ring.treewalk_calls` counters show which tier a run used.
 
 use std::fmt;
 use std::sync::Arc;
 
-use snap_ast::pure::compile_cached;
+use snap_ast::pure::{compile_cached, PureFn};
 use snap_ast::{EvalError, Ring, Value};
 
-use crate::executor::{try_map_slice_with, ExecMode};
+use crate::executor::{columnar_chunk_size, try_map_slice_with, ExecMode};
 use crate::fault::{ExecError, FaultPolicy};
 use crate::parallel::Strategy;
 
@@ -40,6 +44,25 @@ pub enum Isolation {
     /// lock-protected `Arc` — but not what Web Workers do).
     Share,
 }
+
+/// Whether [`ring_map`] may route all-numeric lists through the
+/// columnar batch tier (flat `f64` chunks + `eval_batch`, boxing
+/// deferred to the output seam) instead of per-element calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColumnarPolicy {
+    /// Batch when the ring is batchable and every element is a
+    /// `Value::Number` (and the list is big enough to pay for the scan).
+    #[default]
+    Auto,
+    /// Always evaluate per element — the ablation baseline, and the
+    /// knob differential tests flip to prove output equivalence.
+    Disabled,
+}
+
+/// Don't bother scanning tiny lists for numeric-ness: below this the
+/// per-element path is already cheap. Public so tests and benches can
+/// size inputs relative to the threshold.
+pub const COLUMNAR_MIN_ITEMS: usize = 16;
 
 /// Options for [`ring_map`].
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +83,8 @@ pub struct RingMapOptions {
     /// Fault policy for the call. The default (no retries, no deadline)
     /// reproduces the pre-fault-tolerance behaviour exactly.
     pub policy: FaultPolicy,
+    /// Columnar batch tier: on by default, off for ablation.
+    pub columnar: ColumnarPolicy,
 }
 
 impl Default for RingMapOptions {
@@ -71,6 +96,7 @@ impl Default for RingMapOptions {
             exec: ExecMode::Pooled,
             latency: None,
             policy: FaultPolicy::default(),
+            columnar: ColumnarPolicy::default(),
         }
     }
 }
@@ -135,6 +161,17 @@ pub fn ring_map_faulted(
     snap_trace::well_known::RING_MAP_ITEMS.add(len as u64);
     let _span = snap_trace::span!("ring_map", len);
     let f = compile_cached(&ring).map_err(RingMapError::Eval)?;
+    if options.columnar == ColumnarPolicy::Auto
+        && options.latency.is_none()
+        && len >= COLUMNAR_MIN_ITEMS
+    {
+        if let Some(inputs) = f.is_batchable().then(|| columnar_f64(&items)).flatten() {
+            return columnar_map(&f, inputs, &options);
+        }
+        // A batch-sized map stayed on the per-element path: either the
+        // ring is not batchable or the list is not all-numeric.
+        snap_trace::well_known::RING_BATCH_FALLBACKS.incr();
+    }
     let results = try_map_slice_with(
         &items,
         options.workers,
@@ -160,6 +197,69 @@ pub fn ring_map_faulted(
         .into_iter()
         .collect::<Result<Vec<Value>, EvalError>>()
         .map_err(RingMapError::Eval)
+}
+
+/// The columnar detection scan: `Some(flat f64s)` when every element is
+/// a `Value::Number`, `None` at the first non-number. One pass, no
+/// boxing — `to_number` of a `Number` is the identity, so the flat view
+/// feeds `eval_batch` the exact values per-element calls would coerce.
+fn columnar_f64(items: &[Value]) -> Option<Vec<f64>> {
+    let mut flat = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Value::Number(n) => flat.push(*n),
+            _ => return None,
+        }
+    }
+    Some(flat)
+}
+
+/// The columnar batch tier of [`ring_map_faulted`]: the list moves
+/// through the work-stealing pool as flat `f64` chunk descriptors, each
+/// task runs one [`PureFn::eval_batch`] over its sub-slice, and results
+/// are boxed back to `Value`s only at the single output seam below.
+///
+/// Chunks are deliberately coarse ([`columnar_chunk_size`]): batch
+/// arithmetic is so cheap per element that fine-grained claiming is all
+/// overhead. The fault policy still applies — at chunk granularity: an
+/// injected panic retries the whole chunk, and exhausted budgets surface
+/// as [`RingMapError::Exec`] so callers degrade exactly as they do for
+/// the per-element path. Isolation needs no handling here: numbers are
+/// plain copies either way.
+fn columnar_map(
+    f: &PureFn,
+    inputs: Vec<f64>,
+    options: &RingMapOptions,
+) -> Result<Vec<Value>, RingMapError> {
+    let len = inputs.len();
+    let _span = snap_trace::span!("columnar_map", len);
+    let chunk = columnar_chunk_size(len, options.workers);
+    let chunks: Vec<std::ops::Range<usize>> = (0..len)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(len))
+        .collect();
+    let outputs = try_map_slice_with(
+        &chunks,
+        options.workers,
+        options.strategy,
+        options.exec,
+        &options.policy,
+        |range| {
+            snap_trace::well_known::PAR_COLUMNAR_CHUNKS.incr();
+            let mut out = Vec::with_capacity(range.len());
+            let batched = f.eval_batch(&inputs[range.clone()], &mut out);
+            debug_assert!(batched, "columnar_map requires a batchable ring");
+            out
+        },
+    )
+    .map_err(RingMapError::Exec)?;
+    // The boxing seam: flat chunk outputs become Values exactly once,
+    // in input order.
+    let mut values = Vec::with_capacity(len);
+    for chunk in outputs {
+        values.extend(chunk.into_iter().map(Value::Number));
+    }
+    Ok(values)
 }
 
 /// Validate one mapper output as a `[key, value]` pair (the shape the
@@ -289,14 +389,13 @@ mod tests {
     }
 
     #[test]
-    fn pooled_map_runs_the_numeric_fastpath() {
-        // The bytecode threading contract: a numeric ring mapped on the
-        // pool must execute via the unboxed fast path per item, not the
-        // tree walk. Counters are global, so assert deltas: 64 items →
-        // at least 64 new fastpath calls, and the treewalk counter must
-        // not have absorbed them (other tests may add a few, so allow
-        // slack well below the item count).
-        let fast_before = snap_trace::well_known::RING_FASTPATH_CALLS.get();
+    fn pooled_map_runs_the_columnar_batch_tier() {
+        // The columnar contract: a numeric ring over an all-Number list
+        // must run eval_batch over flat chunks, not per-element calls.
+        // Counters are global, so assert deltas: 64 items → at least 64
+        // new batch elements, and the treewalk counter must not have
+        // absorbed them.
+        let batch_before = snap_trace::well_known::RING_BATCH_ELEMS.get();
         let tree_before = snap_trace::well_known::RING_TREEWALK_CALLS.get();
         let items: Vec<Value> = (0..64).map(|n| Value::Number(n as f64)).collect();
         let out = ring_map(
@@ -310,16 +409,86 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.len(), 64);
-        let fast_delta = snap_trace::well_known::RING_FASTPATH_CALLS.get() - fast_before;
+        assert_eq!(out[7], Value::Number(70.0));
+        let batch_delta = snap_trace::well_known::RING_BATCH_ELEMS.get() - batch_before;
         let tree_delta = snap_trace::well_known::RING_TREEWALK_CALLS.get() - tree_before;
         assert!(
-            fast_delta >= 64,
-            "expected ≥64 fastpath calls, saw {fast_delta}"
+            batch_delta >= 64,
+            "expected ≥64 batch elements, saw {batch_delta}"
         );
         assert!(
             tree_delta < 64,
             "numeric ring fell back to the tree walk ({tree_delta} calls)"
         );
+    }
+
+    #[test]
+    fn disabled_columnar_runs_the_scalar_fastpath() {
+        // The pre-columnar contract still holds under
+        // ColumnarPolicy::Disabled: per-element unboxed fastpath calls.
+        let fast_before = snap_trace::well_known::RING_FASTPATH_CALLS.get();
+        let items: Vec<Value> = (0..64).map(|n| Value::Number(n as f64)).collect();
+        let out = ring_map(
+            times_ten(),
+            items,
+            RingMapOptions {
+                workers: 4,
+                columnar: ColumnarPolicy::Disabled,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 64);
+        let fast_delta = snap_trace::well_known::RING_FASTPATH_CALLS.get() - fast_before;
+        assert!(
+            fast_delta >= 64,
+            "expected ≥64 fastpath calls, saw {fast_delta}"
+        );
+    }
+
+    #[test]
+    fn mixed_type_lists_fall_back_to_per_element_calls() {
+        // One Text element spoils the columnar scan; output must still
+        // be correct and the fallback counter must tick.
+        let fallback_before = snap_trace::well_known::RING_BATCH_FALLBACKS.get();
+        let mut items: Vec<Value> = (0..32).map(|n| Value::Number(n as f64)).collect();
+        items.push(Value::text("  4 ")); // numeric text coerces to 4
+        let out = ring_map(times_ten(), items, RingMapOptions::default()).unwrap();
+        assert_eq!(out.len(), 33);
+        assert_eq!(out[32], Value::Number(40.0));
+        assert!(snap_trace::well_known::RING_BATCH_FALLBACKS.get() > fallback_before);
+    }
+
+    #[test]
+    fn small_lists_skip_the_columnar_scan() {
+        // Below COLUMNAR_MIN_ITEMS the per-element path runs directly —
+        // and without counting a fallback (nothing was declined).
+        let fallback_before = snap_trace::well_known::RING_BATCH_FALLBACKS.get();
+        let items: Vec<Value> = (0..COLUMNAR_MIN_ITEMS - 1)
+            .map(|n| Value::Number(n as f64))
+            .collect();
+        let out = ring_map(times_ten(), items, RingMapOptions::default()).unwrap();
+        assert_eq!(out.len(), COLUMNAR_MIN_ITEMS - 1);
+        assert_eq!(
+            snap_trace::well_known::RING_BATCH_FALLBACKS.get(),
+            fallback_before
+        );
+    }
+
+    #[test]
+    fn columnar_and_scalar_agree_elementwise() {
+        let items: Vec<Value> = (0..500).map(|n| Value::Number(n as f64 * 0.73)).collect();
+        let on = ring_map(times_ten(), items.clone(), RingMapOptions::default()).unwrap();
+        let off = ring_map(
+            times_ten(),
+            items,
+            RingMapOptions {
+                columnar: ColumnarPolicy::Disabled,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(on, off);
     }
 
     #[test]

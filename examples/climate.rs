@@ -8,12 +8,28 @@
 //!
 //! ```sh
 //! cargo run --release --example climate
+//! cargo run --release --example climate -- --trace target/climate_trace.json
 //! ```
+//!
+//! With `--trace <path>`, span recording is enabled; the run prints its
+//! `snap_trace::report()` table and writes a Chrome `trace_event` JSON
+//! to `<path>` plus the report JSON to `<path>.report.json`. The °F→°C
+//! `parallelMap` phase is all-numeric, so the traced report shows the
+//! columnar batch tier engaging (`ring.batch_calls`, `ring.batch_elems`,
+//! `par.columnar_chunks`).
 
 use std::sync::Arc;
 
 use snap_core::data::{f_to_c, generate_noaa, NoaaConfig};
 use snap_core::prelude::*;
+
+/// `--trace <path>` argument, if present.
+fn trace_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned())
+}
 
 /// The Fig. 19 mapper: °F → `["avg", °C]`.
 fn climate_mapper() -> Expr {
@@ -38,6 +54,10 @@ fn averaging_reducer() -> Expr {
 }
 
 fn main() {
+    let trace = trace_path();
+    if trace.is_some() {
+        snap_core::trace::set_enabled(true);
+    }
     // A quick classroom-sized run, as blocks (Fig. 13): freezing and
     // boiling average to 50 °C.
     let mut session = Session::load(Project::new("climate").with_sprite(SpriteDef::new("S")));
@@ -67,6 +87,21 @@ fn main() {
         dataset.readings.len(),
         config.start_year,
         config.start_year + config.years - 1
+    );
+
+    // The °F→°C conversion alone, as a parallelMap: a pure numeric ring
+    // over an all-Number list, which the runtime routes through the
+    // columnar batch tier (flat f64 chunks, eval_batch lane loops).
+    let convert = Arc::new(Ring::reporter_with_params(
+        vec!["t".into()],
+        div(mul(num(5.0), sub(var("t"), num(32.0))), num(9.0)),
+    ));
+    let celsius = snap_core::parallel::parallel_map(convert, dataset.temps_f_values(), 4)
+        .expect("climate parallelMap runs");
+    let mean_c: f64 = celsius.iter().map(Value::to_number).sum::<f64>() / celsius.len() as f64;
+    println!(
+        "parallelMap F->C over {} readings: mean {mean_c:.2} C\n",
+        celsius.len()
     );
 
     // Whole-dataset average via the parallel MapReduce block.
@@ -112,4 +147,17 @@ fn main() {
         last_c - first_c,
         config.warming_f_per_decade
     );
+
+    if let Some(path) = trace {
+        let report = snap_core::trace::report();
+        println!("\n{}", report.to_table());
+        let spans = snap_core::trace::collect_spans();
+        std::fs::write(&path, snap_core::trace::chrome_trace_json(&spans)).expect("write trace");
+        let report_path = format!("{path}.report.json");
+        std::fs::write(&report_path, report.to_json()).expect("write report");
+        println!(
+            "wrote {} spans to {path} (report: {report_path})",
+            spans.len()
+        );
+    }
 }

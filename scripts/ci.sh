@@ -36,16 +36,27 @@ cargo run --release -p bench --bin trace_check -- \
   target/ci/word_count_trace.json target/ci/word_count_trace.json.report.json \
   --require-counter shuffle.pairs_combined --require-counter ring.bytecode_compiles
 
+echo "==> traced example: climate --trace (columnar batch tier must engage)"
+cargo run --release --example climate -- --trace target/ci/climate_trace.json \
+  > target/ci/climate.txt
+
+echo "==> validate climate trace + assert the columnar batch tier ran"
+cargo run --release -p bench --bin trace_check -- \
+  target/ci/climate_trace.json target/ci/climate_trace.json.report.json \
+  --require-counter ring.batch_calls --require-counter par.columnar_chunks
+
 echo "==> experiment report (target/ci/report_output.txt)"
 cargo run --release -p bench --bin report > target/ci/report_output.txt
 tail -n 5 target/ci/report_output.txt
 
-echo "==> bench smoke run + regression gates (BENCH_3 carry-over + BENCH_5)"
-scripts/bench.sh target/ci/BENCH_5.json
+echo "==> bench smoke run + regression gates (BENCH_3 + BENCH_5 carry-over + BENCH_6)"
+scripts/bench.sh target/ci/BENCH_6.json
 cargo run --release -p bench --bin trace_check -- \
-  --bench-json target/ci/BENCH_5.json --baseline BENCH_3.json
+  --bench-json target/ci/BENCH_6.json --baseline BENCH_3.json
 cargo run --release -p bench --bin trace_check -- \
-  --bench-json target/ci/BENCH_5.json --baseline BENCH_5.json
+  --bench-json target/ci/BENCH_6.json --baseline BENCH_5.json
+cargo run --release -p bench --bin trace_check -- \
+  --bench-json target/ci/BENCH_6.json --baseline BENCH_6.json
 
 echo "==> chaos: fault-injection stress under a fixed seed"
 mkdir -p target/ci/chaos

@@ -18,10 +18,11 @@ use std::time::Duration;
 
 use snap_ast::builder::*;
 use snap_ast::{Ring, Value};
-use snap_parallel::{map_reduce_with_policy, parallel_map_with_policy};
+use snap_parallel::{map_reduce_with_policy, parallel_map_with_options, parallel_map_with_policy};
 use snap_trace::well_known as metrics;
 use snap_workers::{
-    install_injector, try_map_slice_with, ExecError, ExecMode, FaultInjector, FaultPolicy, Strategy,
+    install_injector, try_map_slice_with, ColumnarPolicy, ExecError, ExecMode, FaultInjector,
+    FaultPolicy, RingMapOptions, Strategy,
 };
 
 /// Serializes tests that install the process-global fault injector.
@@ -315,13 +316,22 @@ fn chaos_stress_is_deterministic_under_a_fixed_seed() {
     // Two identical parallelMap rounds: both must produce correct
     // results, and — because injection is a pure function of
     // (seed, item, attempt) — both must inject the same number of
-    // first-attempt panics.
+    // first-attempt panics. Columnar is disabled so the injector keys
+    // on every *item* (the columnar tier keys on chunks — stressed
+    // separately below) and the per-item retry ladder gets the full
+    // 10k-attempt pounding.
+    let per_item = RingMapOptions {
+        workers: 4,
+        policy,
+        columnar: ColumnarPolicy::Disabled,
+        ..Default::default()
+    };
     let mut first_attempt_panics = Vec::new();
     for round in 0..2 {
         let before = metrics::FAULT_INJECTED_PANICS.get();
         let before_all = FaultCounters::snapshot();
         install_injector(Some(chaos_injector));
-        let out = parallel_map_with_policy(times_ten_ring(), number_items(10_000), 4, policy);
+        let out = parallel_map_with_options(times_ten_ring(), number_items(10_000), per_item);
         install_injector(None);
         let out = out.expect("chaos round completes");
         assert_eq!(out.len(), 10_000);
@@ -340,6 +350,49 @@ fn chaos_stress_is_deterministic_under_a_fixed_seed() {
             first_attempt_panics[round], delta.retried, delta.reassigned
         );
     }
+
+    // The columnar batch tier under the same chaos: with Auto the
+    // all-numeric map moves flat f64 chunks through the pool, so the
+    // injector keys on *chunk* descriptors and a panic retries the
+    // whole chunk. Results must still be exact, and two identical
+    // rounds must inject identically.
+    let mut columnar_panics = Vec::new();
+    for round in 0..2 {
+        let before = metrics::FAULT_INJECTED_PANICS.get();
+        let chunks_before = metrics::PAR_COLUMNAR_CHUNKS.get();
+        install_injector(Some(chaos_injector));
+        let out = parallel_map_with_options(
+            times_ten_ring(),
+            number_items(10_000),
+            RingMapOptions {
+                columnar: ColumnarPolicy::Auto,
+                ..per_item
+            },
+        );
+        install_injector(None);
+        let out = out.expect("columnar chaos round completes");
+        assert_eq!(out.len(), 10_000);
+        for (i, value) in out.iter().enumerate() {
+            assert_eq!(
+                *value,
+                Value::Number(i as f64 * 10.0),
+                "columnar round {round} item {i}"
+            );
+        }
+        assert!(
+            metrics::PAR_COLUMNAR_CHUNKS.get() > chunks_before,
+            "the numeric chaos map must take the columnar tier"
+        );
+        columnar_panics.push(metrics::FAULT_INJECTED_PANICS.get() - before);
+        println!(
+            "columnar round {round}: {} injected chunk panics",
+            columnar_panics[round]
+        );
+    }
+    assert_eq!(
+        columnar_panics[0], columnar_panics[1],
+        "identical columnar rounds under one seed must inject identically"
+    );
 
     // A faulty mapReduce round: grouped results survive chaos too.
     let mapper = Arc::new(Ring::reporter_with_params(

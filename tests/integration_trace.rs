@@ -111,11 +111,15 @@ fn traced_run_emits_reconcilable_trace_and_report() {
     assert!(report.counter("compile_cache.misses") >= 1);
 
     // --- ring bytecode + combiner counters --------------------------
-    // The ×10 map ring is numeric → every one of its 10k calls must run
-    // the unboxed fast path; the word-count mapper's make_list body runs
-    // boxed bytecode; the associative reducer engages the combiner.
+    // The ×10 map ring is numeric over an all-Number list → the run must
+    // take the columnar batch tier: every one of its 10k elements flows
+    // through eval_batch chunks, with no per-element dispatch. The
+    // word-count mapper's make_list body runs boxed bytecode; the
+    // associative reducer engages the combiner.
     assert!(report.counter("ring.bytecode_compiles") >= 2);
-    assert!(report.counter("ring.fastpath_calls") >= 10_000);
+    assert!(report.counter("ring.batch_elems") >= 10_000);
+    assert!(report.counter("ring.batch_calls") >= 1);
+    assert!(report.counter("par.columnar_chunks") >= 1);
     assert!(report.counter("ring.bytecode_calls") >= 1);
     assert!(report.counter("shuffle.combine_runs") >= 1);
     assert!(
