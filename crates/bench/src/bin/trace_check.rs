@@ -30,7 +30,24 @@
 //! `$GITHUB_STEP_SUMMARY` when that variable is set. Exits non-zero if
 //! a file is missing, fails to parse, lacks its required structure,
 //! regresses past the gate, or (for traces) contains malformed events.
+//!
+//! Two more modes serve the continuous-telemetry pipeline:
+//!
+//! * `--overhead-gate <BENCH.json>` — reads the `a7_trace_overhead`
+//!   pair from a fresh bench run and fails when `telemetry_on` costs
+//!   more than [`OVERHEAD_GATE_RATIO`]× `telemetry_off` — the <3%
+//!   always-on telemetry budget, self-audited.
+//! * `--scrape <host:port> <path> <outfile> [--retry N] [--expect
+//!   <substr> ...] [--expect-positive <line-prefix> ...]` —
+//!   dependency-free HTTP GET against a live `snap_trace::serve`
+//!   endpoint (CI has no curl guarantee). Writes the response body to
+//!   `<outfile>` and fails unless the status is 200, every `--expect`
+//!   substring occurs in the body, and every `--expect-positive` prefix
+//!   matches a sample line whose value is > 0 (proving the metric is
+//!   live, not just exported). `--retry` re-attempts (1s apart) while
+//!   the server warms up or a metric has yet to go live.
 
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 use serde_json::Value;
@@ -73,7 +90,8 @@ fn check_trace(path: &str) -> Result<(), String> {
 
 /// Counters every `ExecutionReport` JSON must carry — the observability
 /// contract each subsystem PR extends. PR 5 added the ring-bytecode
-/// tiers and the map-side combiner; PR 6 added the columnar batch tier.
+/// tiers and the map-side combiner; PR 6 added the columnar batch tier;
+/// PR 7 added the continuous-telemetry self-audit counters.
 const REQUIRED_REPORT_COUNTERS: &[&str] = &[
     "pool.jobs_executed",
     "compile_cache.hits",
@@ -89,6 +107,9 @@ const REQUIRED_REPORT_COUNTERS: &[&str] = &[
     "shuffle.pairs",
     "shuffle.combine_runs",
     "shuffle.pairs_combined",
+    "trace.spans_dropped",
+    "trace.overhead_ns",
+    "trace.profile_samples",
 ];
 
 fn check_report(path: &str, require_positive: &[String]) -> Result<(), String> {
@@ -262,15 +283,219 @@ fn compare_bench_json(current_path: &str, baseline_path: &str) -> Result<(), Str
     }
 }
 
+/// Telemetry-on may cost at most 3% over telemetry-off on the churn
+/// workload — the always-on tier's self-audited overhead budget.
+const OVERHEAD_GATE_RATIO: f64 = 1.03;
+
+/// Assert the `a7_trace_overhead` pair in a fresh bench run is within
+/// [`OVERHEAD_GATE_RATIO`].
+fn check_overhead_gate(path: &str) -> Result<(), String> {
+    let means = bench_means(path)?;
+    let mean_of = |name: &str| {
+        means
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ns)| *ns)
+            .ok_or_else(|| format!("{path}: missing bench {name:?}"))
+    };
+    let off = mean_of("a7_trace_overhead/telemetry_off")?;
+    let on = mean_of("a7_trace_overhead/telemetry_on")?;
+    if off <= 0.0 {
+        return Err(format!("{path}: telemetry_off mean is not positive"));
+    }
+    let ratio = on / off;
+    if ratio > OVERHEAD_GATE_RATIO {
+        return Err(format!(
+            "{path}: continuous telemetry overhead {on:.0}ns vs {off:.0}ns \
+             ({ratio:.3}x > {OVERHEAD_GATE_RATIO}x budget)"
+        ));
+    }
+    println!(
+        "{path}: OK — telemetry overhead {ratio:.3}x (on {on:.0}ns / off {off:.0}ns, \
+         budget {OVERHEAD_GATE_RATIO}x)"
+    );
+    Ok(())
+}
+
+/// One dependency-free HTTP/1.1 GET. Returns the response body after
+/// verifying a 200 status line.
+fn http_get(addr: &str, target: &str) -> Result<String, String> {
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let request = format!("GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("{addr}: write: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("{addr}: read: {e}"))?;
+    let status = response.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}{target}: status {status:?}, expected 200"));
+    }
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(format!(
+            "{addr}{target}: malformed response (no header end)"
+        )),
+    }
+}
+
+/// Check one scraped body against the `--expect` substrings and the
+/// `--expect-positive` sample-line prefixes (line value must be > 0).
+fn check_body(
+    addr: &str,
+    target: &str,
+    outfile: &str,
+    body: &str,
+    expect: &[String],
+    expect_positive: &[String],
+) -> Result<(), String> {
+    for needle in expect {
+        if !body.contains(needle.as_str()) {
+            return Err(format!(
+                "{addr}{target}: body ({} bytes, saved to {outfile}) \
+                 does not contain {needle:?}",
+                body.len()
+            ));
+        }
+    }
+    for prefix in expect_positive {
+        let value = body
+            .lines()
+            .find(|line| line.starts_with(prefix.as_str()))
+            .and_then(|line| line.rsplit_once(' '))
+            .and_then(|(_, v)| v.parse::<f64>().ok());
+        match value {
+            Some(v) if v > 0.0 => {}
+            Some(v) => {
+                return Err(format!(
+                    "{addr}{target}: sample {prefix:?} is {v}, expected > 0 \
+                     (saved to {outfile})"
+                ));
+            }
+            None => {
+                return Err(format!(
+                    "{addr}{target}: no parseable sample line starts with {prefix:?} \
+                     (saved to {outfile})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `--scrape` mode: GET `<path>` from a live endpoint, write the body
+/// to `<outfile>`, and assert every expectation. Retries cover both a
+/// server that is still warming up (connection refused) and a metric
+/// that has not gone live yet (unmet expectation), so CI can scrape a
+/// freshly-launched example without a sleep.
+fn scrape(
+    addr: &str,
+    target: &str,
+    outfile: &str,
+    retries: u32,
+    expect: &[String],
+    expect_positive: &[String],
+) -> Result<(), String> {
+    let mut last_err = String::new();
+    for attempt in 0..=retries {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_secs(1));
+        }
+        match http_get(addr, target).and_then(|body| {
+            std::fs::write(outfile, &body).map_err(|e| format!("{outfile}: {e}"))?;
+            check_body(addr, target, outfile, &body, expect, expect_positive).map(|()| body)
+        }) {
+            Ok(body) => {
+                println!(
+                    "{addr}{target}: OK — {} bytes to {outfile} ({} expectation(s) met)",
+                    body.len(),
+                    expect.len() + expect_positive.len()
+                );
+                return Ok(());
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    Err(format!("after {} attempt(s): {last_err}", retries + 1))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
             "usage: trace_check <chrome-trace.json> [report.json ...] \
              [--require-counter <name> ...] \
-             | --bench-json <BENCH.json> [--baseline <BENCH.json>]"
+             | --bench-json <BENCH.json> [--baseline <BENCH.json>] \
+             | --overhead-gate <BENCH.json> \
+             | --scrape <host:port> <path> <outfile> [--retry N] [--expect <substr> ...] \
+             [--expect-positive <line-prefix> ...]"
         );
         return ExitCode::FAILURE;
+    }
+    if args[0] == "--overhead-gate" {
+        let Some(path) = args.get(1) else {
+            eprintln!("trace_check FAILED: --overhead-gate requires a bench JSON path");
+            return ExitCode::FAILURE;
+        };
+        return match check_overhead_gate(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("trace_check FAILED: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args[0] == "--scrape" {
+        let (Some(addr), Some(target), Some(outfile)) = (args.get(1), args.get(2), args.get(3))
+        else {
+            eprintln!("trace_check FAILED: --scrape requires <host:port> <path> <outfile>");
+            return ExitCode::FAILURE;
+        };
+        let mut retries = 0u32;
+        let mut expect: Vec<String> = Vec::new();
+        let mut expect_positive: Vec<String> = Vec::new();
+        let mut rest = args[4..].iter();
+        while let Some(arg) = rest.next() {
+            match arg.as_str() {
+                "--retry" => match rest.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => retries = n,
+                    None => {
+                        eprintln!("trace_check FAILED: --retry requires a count");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                "--expect" => match rest.next() {
+                    Some(needle) => expect.push(needle.clone()),
+                    None => {
+                        eprintln!("trace_check FAILED: --expect requires a substring");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                "--expect-positive" => match rest.next() {
+                    Some(prefix) => expect_positive.push(prefix.clone()),
+                    None => {
+                        eprintln!("trace_check FAILED: --expect-positive requires a line prefix");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                other => {
+                    eprintln!("trace_check FAILED: unknown --scrape argument {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return match scrape(addr, target, outfile, retries, &expect, &expect_positive) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("trace_check FAILED: {message}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if args[0] == "--bench-json" {
         let mut paths: Vec<&str> = Vec::new();

@@ -64,6 +64,11 @@ pub fn shuffle_parallel(
     }
     metrics::SHUFFLE_PARALLEL_RUNS.incr();
     metrics::SHUFFLE_PAIRS.add(pairs.len() as u64);
+    // The innermost span open at entry — the map_reduce (or parallelMap)
+    // that produced these pairs. The merge span links to it explicitly:
+    // by merge time the map-phase spans are closed, so the link is the
+    // durable causal edge from the merge back to its originating call.
+    let origin = snap_trace::current_span_id();
     let _span = snap_trace::span!("shuffle.parallel", "pairs" => pairs.len());
 
     // Compute each pair's canonical key exactly once. The partition, the
@@ -106,7 +111,8 @@ pub fn shuffle_parallel(
     // preferring the earliest bucket — the same order the linear scan
     // produced — so the merge reproduces the stable sort exactly.
     let merge_started = Instant::now();
-    let _merge_span = snap_trace::span!("shuffle.merge", "buckets" => buckets.len());
+    let _merge_span =
+        snap_trace::span_linked_with("shuffle.merge", "buckets", buckets.len() as u64, origin);
     let buckets: Vec<Vec<KeyedPair>> = buckets
         .into_iter()
         .map(|bucket| bucket.into_inner().unwrap_or_else(PoisonError::into_inner))

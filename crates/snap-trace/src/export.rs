@@ -43,10 +43,31 @@ fn push_event(event: &SpanEvent, out: &mut String) {
         event.start_ns as f64 / 1_000.0,
         event.dur_ns as f64 / 1_000.0,
     );
-    if let Some((key, value)) = event.arg {
-        out.push_str(",\"args\":{\"");
-        escape_json(key, out);
-        let _ = write!(out, "\":{value}}}");
+    // Causal identity travels in args so every event keeps the same
+    // required top-level field set (name/ph/ts/dur/pid/tid).
+    let has_args = event.arg.is_some() || event.id != 0;
+    if has_args {
+        out.push_str(",\"args\":{");
+        let mut first = true;
+        if let Some((key, value)) = event.arg {
+            out.push('"');
+            escape_json(key, out);
+            let _ = write!(out, "\":{value}");
+            first = false;
+        }
+        if event.id != 0 {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "\"span_id\":{}", event.id);
+            if event.parent != 0 {
+                let _ = write!(out, ",\"parent\":{}", event.parent);
+            }
+            if event.link != 0 {
+                let _ = write!(out, ",\"link\":{}", event.link);
+            }
+        }
+        out.push('}');
     }
     out.push('}');
 }
@@ -111,6 +132,15 @@ pub fn spans_jsonl(spans: &[SpanEvent]) -> String {
             "\",\"tid\":{},\"start_ns\":{},\"dur_ns\":{}",
             event.tid, event.start_ns, event.dur_ns
         );
+        if event.id != 0 {
+            let _ = write!(out, ",\"id\":{}", event.id);
+            if event.parent != 0 {
+                let _ = write!(out, ",\"parent\":{}", event.parent);
+            }
+            if event.link != 0 {
+                let _ = write!(out, ",\"link\":{}", event.link);
+            }
+        }
         if let Some((key, value)) = event.arg {
             out.push_str(",\"arg_key\":\"");
             escape_json(key, &mut out);
@@ -132,6 +162,9 @@ mod tests {
                 tid: 1,
                 start_ns: 1_500,
                 dur_ns: 2_000_000,
+                id: 7,
+                parent: 0,
+                link: 0,
                 arg: Some(("len", 10_000)),
             },
             SpanEvent {
@@ -139,6 +172,9 @@ mod tests {
                 tid: 2,
                 start_ns: 2_000_000,
                 dur_ns: 500,
+                id: 9,
+                parent: 8,
+                link: 7,
                 arg: None,
             },
         ]
@@ -152,8 +188,10 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"ts\":1.500"));
         assert!(json.contains("\"dur\":2000.000"));
-        assert!(json.contains("\"args\":{\"len\":10000}"));
+        assert!(json.contains("\"args\":{\"len\":10000,\"span_id\":7}"));
         assert!(json.contains("\"name\":\"shuffle.merge\""));
+        // Causal identity travels in args: id always, parent/link when set.
+        assert!(json.contains("\"args\":{\"span_id\":9,\"parent\":8,\"link\":7}"));
     }
 
     #[test]
@@ -186,6 +224,9 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"start_ns\":1500"));
         assert!(lines[0].contains("\"arg_key\":\"len\""));
+        assert!(lines[0].contains("\"id\":7"));
+        assert!(lines[1].contains("\"parent\":8"));
+        assert!(lines[1].contains("\"link\":7"));
         assert!(lines[1].ends_with('}'));
     }
 

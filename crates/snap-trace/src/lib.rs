@@ -39,16 +39,23 @@
 
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod report;
+pub mod serve;
 pub mod span;
+pub mod window;
 
 pub use export::{chrome_trace_json, chrome_trace_json_with_notes, spans_jsonl};
 pub use metrics::{
-    counter, gauge, global_workers, histogram, register_global_workers, well_known, Counter, Gauge,
-    Histogram, HistogramSnapshot, WorkerCounters,
+    counter, gauge, global_workers, histogram, histogram_owned, register_global_workers,
+    well_known, Counter, Gauge, Histogram, HistogramSnapshot, WorkerCounters,
 };
+pub use profile::{profile_for, register_thread, sample_once, Profile, ProfilerHandle};
 pub use report::{report, ExecutionReport, SpanSummary};
+pub use serve::{prometheus_text, serve, MetricsServer};
 pub use span::{
-    collect_notes, collect_spans, dropped_notes, dropped_spans, enabled, note, set_enabled, span,
-    span_with, take_notes, take_spans, SpanEvent, SpanGuard, TraceNote,
+    collect_notes, collect_spans, current_span_id, dropped_notes, dropped_spans, enabled, note,
+    set_enabled, span, span_linked, span_linked_with, span_with, take_notes, take_spans, SpanEvent,
+    SpanGuard, TraceNote,
 };
+pub use window::{WINDOW_SECS, WINDOW_SLOTS};

@@ -10,6 +10,8 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
+use crate::window::WindowRing;
+
 /// A monotonically increasing event count.
 #[derive(Debug)]
 pub struct Counter {
@@ -114,7 +116,9 @@ impl Gauge {
 pub const HISTOGRAM_BUCKETS: usize = 64;
 
 /// A lock-free histogram over `u64` samples (nanoseconds, sizes, …)
-/// with power-of-two buckets plus exact count/sum/min/max.
+/// with power-of-two buckets plus exact count/sum/min/max, and a
+/// windowed ring ([`WindowRing`]) answering quantiles over the trailing
+/// minute while the run is live.
 #[derive(Debug)]
 pub struct Histogram {
     name: &'static str,
@@ -123,6 +127,7 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    window: WindowRing,
 }
 
 impl Histogram {
@@ -135,6 +140,7 @@ impl Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            window: WindowRing::new(),
         }
     }
 
@@ -143,9 +149,21 @@ impl Histogram {
         self.name
     }
 
-    /// Record one sample.
+    /// Record one sample (stamped with the current trace-epoch time for
+    /// window placement).
     #[inline]
     pub fn record(&self, sample: u64) {
+        #[cfg(feature = "enabled")]
+        self.record_at(sample, crate::span::now_ns());
+        #[cfg(not(feature = "enabled"))]
+        let _ = sample;
+    }
+
+    /// Record one sample observed at `now_ns` (nanoseconds since the
+    /// trace epoch). Call sites that already hold a timestamp (span
+    /// guards) use this to skip a second clock read.
+    #[inline]
+    pub fn record_at(&self, sample: u64, now_ns: u64) {
         #[cfg(feature = "enabled")]
         {
             let bucket = (64 - sample.leading_zeros() as usize).saturating_sub(1);
@@ -154,9 +172,10 @@ impl Histogram {
             self.sum.fetch_add(sample, Ordering::Relaxed);
             self.min.fetch_min(sample, Ordering::Relaxed);
             self.max.fetch_max(sample, Ordering::Relaxed);
+            self.window.record(sample, now_ns);
         }
         #[cfg(not(feature = "enabled"))]
-        let _ = sample;
+        let _ = (sample, now_ns);
     }
 
     /// A point-in-time copy of the histogram's summary statistics.
@@ -173,6 +192,21 @@ impl Histogram {
             },
             max: self.max.load(Ordering::Relaxed),
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// A snapshot of only the samples recorded in the trailing
+    /// `range_secs` seconds (clamped to the ring's one-minute span) —
+    /// the live view behind windowed p50/p95/p99.
+    pub fn windowed(&self, range_secs: u64) -> HistogramSnapshot {
+        let stats = self.window.merged(range_secs, crate::span::now_ns());
+        HistogramSnapshot {
+            name: self.name,
+            count: stats.count,
+            sum: stats.sum,
+            min: stats.min,
+            max: stats.max,
+            buckets: stats.buckets,
         }
     }
 }
@@ -202,6 +236,30 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimate the `p`-quantile (`p` in `0.0..=1.0`) from the
+    /// power-of-two buckets: the upper bound of the bucket holding the
+    /// requested rank, clamped into the observed `[min, max]`. At worst
+    /// one bucket (2×) coarse; exact at the extremes.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                let upper = if i >= HISTOGRAM_BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -388,6 +446,18 @@ pub mod well_known {
     /// Items run through the simulated cluster.
     pub static DISTRIBUTED_ITEMS: Counter = Counter::new("distributed.items");
 
+    /// Spans lost because a thread's buffer hit
+    /// [`crate::span::MAX_EVENTS_PER_THREAD`].
+    pub static TRACE_SPANS_DROPPED: Counter = Counter::new("trace.spans_dropped");
+    /// Nanoseconds snap-trace spent on itself: profiler sampling ticks
+    /// plus telemetry HTTP handler time — the self-audit behind the
+    /// `a7_trace_overhead` CI gate.
+    pub static TRACE_OVERHEAD_NS: Counter = Counter::new("trace.overhead_ns");
+    /// Sampling-profiler ticks taken (all profiler runs).
+    pub static TRACE_PROFILE_SAMPLES: Counter = Counter::new("trace.profile_samples");
+    /// `/metrics` scrapes answered by the telemetry server.
+    pub static TRACE_METRICS_SCRAPES: Counter = Counter::new("trace.metrics_scrapes");
+
     /// VM frames executed (`step_frame` calls, stolen or not).
     pub static VM_FRAMES: Counter = Counter::new("vm.frames");
     /// VM frames consumed by the interference model.
@@ -396,10 +466,12 @@ pub mod well_known {
     pub static VM_PROCESSES_SPAWNED: Counter = Counter::new("vm.processes_spawned");
     /// Live processes in the most recently stepped VM.
     pub static VM_LIVE_PROCESSES: Gauge = Gauge::new("vm.live_processes");
+    /// Wall-time of each VM frame step, nanoseconds.
+    pub static VM_FRAME_NS: Histogram = Histogram::new("vm.frame_ns");
 }
 
 /// Every well-known counter, for enumeration by reports.
-pub fn known_counters() -> [&'static Counter; 45] {
+pub fn known_counters() -> [&'static Counter; 49] {
     use well_known::*;
     [
         &POOL_JOBS_SUBMITTED,
@@ -447,6 +519,10 @@ pub fn known_counters() -> [&'static Counter; 45] {
         &DIST_SPECULATIVE_RUNS,
         &DIST_DEGRADED_RUNS,
         &VM_PROCESSES_SPAWNED,
+        &TRACE_SPANS_DROPPED,
+        &TRACE_OVERHEAD_NS,
+        &TRACE_PROFILE_SAMPLES,
+        &TRACE_METRICS_SCRAPES,
     ]
 }
 
@@ -457,9 +533,9 @@ pub fn known_gauges() -> [&'static Gauge; 2] {
 }
 
 /// Every well-known histogram.
-pub fn known_histograms() -> [&'static Histogram; 2] {
+pub fn known_histograms() -> [&'static Histogram; 3] {
     use well_known::*;
-    [&SHUFFLE_PARTITION_SIZE, &SHUFFLE_MERGE_NS]
+    [&SHUFFLE_PARTITION_SIZE, &SHUFFLE_MERGE_NS, &VM_FRAME_NS]
 }
 
 /// The VM frame counters, exported separately so reports can show the
@@ -522,6 +598,21 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
         return existing;
     }
     let leaked: &'static Histogram = Box::leak(Box::new(Histogram::new(name)));
+    reg.histograms.push(leaked);
+    leaked
+}
+
+/// Intern a histogram under a runtime-built name (the name is leaked
+/// once per distinct string). Used for per-span-name duration
+/// histograms (`span.<name>.ns`), where the set of names is only known
+/// at runtime; hot paths cache the returned reference.
+pub fn histogram_owned(name: String) -> &'static Histogram {
+    let mut reg = dynamic().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(existing) = reg.histograms.iter().find(|h| h.name == name) {
+        return existing;
+    }
+    let leaked_name: &'static str = Box::leak(name.into_boxed_str());
+    let leaked: &'static Histogram = Box::leak(Box::new(Histogram::new(leaked_name)));
     reg.histograms.push(leaked);
     leaked
 }
@@ -621,6 +712,34 @@ mod tests {
         assert_eq!(snap.count, 1);
         assert_eq!(snap.buckets[0], 1);
         assert_eq!(snap.min, 0);
+    }
+
+    #[test]
+    fn histogram_windows_and_percentiles_follow_samples() {
+        static H: Histogram = Histogram::new("test.histogram.windowed");
+        H.record(100);
+        H.record(1000);
+        let windowed = H.windowed(60);
+        assert_eq!(windowed.count, 2, "fresh samples are in the last minute");
+        assert_eq!(windowed.sum, 1100);
+        let snap = H.snapshot();
+        // 100 → bucket [64,128): p50 estimate is that bucket's upper
+        // bound clamped into [min, max]; p100 resolves to the max.
+        assert_eq!(snap.percentile(0.5), 127);
+        assert_eq!(snap.percentile(1.0), 1000);
+        assert_eq!(windowed.percentile(1.0), snap.percentile(1.0));
+        let empty = Histogram::new("test.histogram.empty_window");
+        assert_eq!(empty.windowed(60).count, 0);
+        assert_eq!(empty.snapshot().percentile(0.99), 0);
+    }
+
+    #[test]
+    fn owned_name_histograms_intern_by_value() {
+        let a = histogram_owned("test.owned.histogram".to_string());
+        let b = histogram_owned("test.owned.histogram".to_string());
+        assert!(std::ptr::eq(a, b));
+        a.record(5);
+        assert!(b.snapshot().count >= 1);
     }
 
     #[test]

@@ -184,12 +184,13 @@ impl ExecutionReport {
             // refused jobs ran inline on the submitter.
             let _ = writeln!(
                 out,
-                "  scheduler: local={} injector={} stolen={} parks={} inline={}",
+                "  scheduler: local={} injector={} stolen={} parks={} inline={} spans_dropped={}",
                 self.counter("pool.dequeue_local"),
                 self.counter("pool.dequeue_injector"),
                 self.counter("pool.jobs_stolen"),
                 self.counter("pool.worker_parks"),
                 self.counter("pool.jobs_inline"),
+                self.counter("trace.spans_dropped"),
             );
         }
         // The fault-tolerance line: every panicked attempt is either

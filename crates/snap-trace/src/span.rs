@@ -30,6 +30,15 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Process-unique span id (0 only for hand-built events).
+    pub id: u64,
+    /// Id of the span that was open on the same thread when this one
+    /// began (0 at the top of a thread's stack).
+    pub parent: u64,
+    /// Causal link to a span on *another* thread: the originating
+    /// `parallelMap`-side span a pooled chunk, fault retry, or salvage
+    /// pass was scheduled from (0 when unlinked).
+    pub link: u64,
     /// Optional single argument, e.g. `("len", 10000)`.
     pub arg: Option<(&'static str, u64)>,
 }
@@ -52,6 +61,12 @@ pub fn enabled() -> bool {
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch, shared with histogram
+/// windows so every subsystem stamps time on one axis.
+pub(crate) fn now_ns() -> u64 {
+    Instant::now().duration_since(epoch()).as_nanos() as u64
 }
 
 struct ThreadBuffer {
@@ -91,58 +106,149 @@ fn with_local_buffer(f: impl FnOnce(&ThreadBuffer)) {
 }
 
 /// An open span; records its event when dropped. Inert (and free) when
-/// recording was disabled at open time.
+/// neither recording nor profiling was active at open time.
 #[must_use = "a span records nothing unless it lives across the timed region"]
 pub struct SpanGuard {
     open: Option<OpenSpan>,
+    framed: bool,
 }
 
 struct OpenSpan {
     name: &'static str,
     arg: Option<(&'static str, u64)>,
+    id: u64,
+    parent: u64,
+    link: u64,
     start: Instant,
     start_ns: u64,
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    // Ids of the spans currently open on this thread, innermost last —
+    // the source of `SpanEvent::parent` and `current_span_id`. Plain
+    // (non-atomic) because only the owning thread reads it; the
+    // profiler's cross-thread view lives in `crate::profile`.
+    static OPEN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The id of the innermost span currently open on this thread (0 when
+/// none). Capture it before handing work to another thread and pass it
+/// to [`span_linked`] there, so the pooled side of a scatter links back
+/// to the originating call in the trace.
+pub fn current_span_id() -> u64 {
+    OPEN_STACK.with(|stack| stack.borrow().last().copied().unwrap_or(0))
 }
 
 /// Open a span covering the enclosing scope.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    span_inner(name, None)
+    span_inner(name, None, 0)
 }
 
 /// Open a span with one `key = value` argument.
 #[inline]
 pub fn span_with(name: &'static str, key: &'static str, value: u64) -> SpanGuard {
-    span_inner(name, Some((key, value)))
+    span_inner(name, Some((key, value)), 0)
+}
+
+/// Open a span causally linked to a span on another thread (see
+/// [`current_span_id`]).
+#[inline]
+pub fn span_linked(name: &'static str, link: u64) -> SpanGuard {
+    span_inner(name, None, link)
+}
+
+/// [`span_linked`] with one `key = value` argument.
+#[inline]
+pub fn span_linked_with(name: &'static str, key: &'static str, value: u64, link: u64) -> SpanGuard {
+    span_inner(name, Some((key, value)), link)
 }
 
 #[inline]
-fn span_inner(name: &'static str, arg: Option<(&'static str, u64)>) -> SpanGuard {
-    if !enabled() {
-        return SpanGuard { open: None };
+fn span_inner(name: &'static str, arg: Option<(&'static str, u64)>, link: u64) -> SpanGuard {
+    let recording = enabled();
+    if !recording && !crate::profile::profiling() {
+        return SpanGuard {
+            open: None,
+            framed: false,
+        };
     }
+    // The profiler's per-thread stack is maintained whenever spans are
+    // recorded OR a sampler is running, so a profile can be pulled from
+    // a process that never enabled full span recording.
+    crate::profile::push_frame(name);
+    if !recording {
+        return SpanGuard {
+            open: None,
+            framed: true,
+        };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = OPEN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(id);
+        parent
+    });
     let epoch = epoch();
     let start = Instant::now();
     SpanGuard {
         open: Some(OpenSpan {
             name,
             arg,
+            id,
+            parent,
+            link,
             start,
             start_ns: start.duration_since(epoch).as_nanos() as u64,
         }),
+        framed: true,
     }
+}
+
+thread_local! {
+    // name-ptr → duration histogram, so each span drop records into
+    // `span.<name>.ns` without touching the global intern lock.
+    static DURATION_CACHE: RefCell<Vec<(usize, &'static crate::metrics::Histogram)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+fn duration_histogram(name: &'static str) -> &'static crate::metrics::Histogram {
+    let key = name.as_ptr() as usize;
+    DURATION_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(&(_, histogram)) = cache.iter().find(|(k, _)| *k == key) {
+            return histogram;
+        }
+        let histogram = crate::metrics::histogram_owned(format!("span.{name}.ns"));
+        cache.push((key, histogram));
+        histogram
+    })
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.framed {
+            crate::profile::pop_frame();
+        }
         let Some(open) = self.open.take() else {
             return;
         };
+        OPEN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
         let dur_ns = open.start.elapsed().as_nanos() as u64;
+        // Span durations flow into windowed histograms, so live p99s
+        // per span name come for free with recording on. The end
+        // timestamp is already known — no extra clock read.
+        duration_histogram(open.name).record_at(dur_ns, open.start_ns + dur_ns);
         with_local_buffer(|buffer| {
             let mut events = buffer.events.lock().unwrap_or_else(PoisonError::into_inner);
             if events.len() >= MAX_EVENTS_PER_THREAD {
                 buffer.dropped.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::well_known::TRACE_SPANS_DROPPED.incr();
                 return;
             }
             events.push(SpanEvent {
@@ -150,6 +256,9 @@ impl Drop for SpanGuard {
                 tid: buffer.tid,
                 start_ns: open.start_ns,
                 dur_ns,
+                id: open.id,
+                parent: open.parent,
+                link: open.link,
                 arg: open.arg,
             });
         });
@@ -363,6 +472,76 @@ mod tests {
             .expect("note recorded");
         assert_eq!(ours.message, "panicked at 'boom'");
         assert_eq!(dropped_notes(), 0);
+    }
+
+    #[test]
+    fn spans_carry_ids_parents_and_links() {
+        let _guard = toggle_lock();
+        set_enabled(true);
+        let origin_id;
+        {
+            let _outer = span("test.link.origin");
+            origin_id = current_span_id();
+            assert_ne!(origin_id, 0, "an open span has an id");
+            let _inner = span_linked_with("test.link.child", "item", 3, origin_id);
+        }
+        assert_eq!(current_span_id(), 0, "stack empties when guards drop");
+        set_enabled(false);
+        let spans = collect_spans();
+        let outer = spans
+            .iter()
+            .find(|e| e.name == "test.link.origin")
+            .expect("origin recorded");
+        let inner = spans
+            .iter()
+            .find(|e| e.name == "test.link.child")
+            .expect("child recorded");
+        assert_eq!(outer.id, origin_id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, origin_id, "same-thread nesting sets parent");
+        assert_eq!(inner.link, origin_id, "explicit link survives");
+        assert_ne!(inner.id, outer.id);
+    }
+
+    #[test]
+    fn span_durations_flow_into_windowed_histograms() {
+        let _guard = toggle_lock();
+        set_enabled(true);
+        {
+            let _s = span("test.duration_window");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        set_enabled(false);
+        let histogram = crate::metrics::histogram_owned("span.test.duration_window.ns".into());
+        let windowed = histogram.windowed(60);
+        assert!(windowed.count >= 1, "duration recorded into the window");
+        assert!(
+            windowed.percentile(0.99) >= 1_000_000,
+            "p99 covers the 1ms sleep"
+        );
+    }
+
+    #[test]
+    fn buffer_overflow_counts_dropped_spans() {
+        let _guard = toggle_lock();
+        set_enabled(true);
+        let before = crate::metrics::well_known::TRACE_SPANS_DROPPED.get();
+        // A dedicated thread gets a fresh thread-local buffer, so the
+        // overflow is deterministic and no sibling test's spans are
+        // eaten by the full buffer.
+        std::thread::spawn(|| {
+            for _ in 0..(MAX_EVENTS_PER_THREAD + 10) {
+                let _s = span("test.overflow");
+            }
+        })
+        .join()
+        .unwrap();
+        set_enabled(false);
+        assert!(dropped_spans() >= 10, "per-buffer drop counts advance");
+        assert!(
+            crate::metrics::well_known::TRACE_SPANS_DROPPED.get() >= before + 10,
+            "the well-known counter mirrors the drops"
+        );
     }
 
     #[test]

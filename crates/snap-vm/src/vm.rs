@@ -255,6 +255,10 @@ impl Vm {
     /// timestep advances. Returns `true` while any process remains.
     pub fn step_frame(&mut self) -> bool {
         snap_trace::well_known::VM_FRAMES.incr();
+        // Frame duration feeds the windowed `vm.frame_ns` histogram, so a
+        // live /metrics scrape shows frame-time percentiles even when span
+        // recording is off.
+        let frame_started = std::time::Instant::now();
         // One span per frame makes timestep-granular runs (the
         // concession stand's 12-vs-3) readable on a trace timeline.
         let _span = snap_trace::span!("vm.frame", "timestep" => self.timestep);
@@ -291,6 +295,7 @@ impl Vm {
         }
         self.timestep += 1;
         snap_trace::well_known::VM_LIVE_PROCESSES.set(self.procs.len() as i64);
+        snap_trace::well_known::VM_FRAME_NS.record(frame_started.elapsed().as_nanos() as u64);
         !self.procs.is_empty()
     }
 

@@ -246,6 +246,10 @@ pub fn map_slice_with<T: Send + Sync, R: Send>(
     if workers <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
+    // The innermost span open on the *calling* thread (a `ring_map`, a
+    // shuffle stage, …): chunk spans executed on pool workers link back
+    // to it, so the scatter is causally stitched in the Chrome trace.
+    let origin = snap_trace::current_span_id();
     let len = items.len();
     let mut out: Vec<Option<R>> = Vec::with_capacity(len);
     out.resize_with(len, || None);
@@ -261,7 +265,7 @@ pub fn map_slice_with<T: Send + Sync, R: Send>(
             }
             metrics::EXEC_CHUNKS_CLAIMED.incr();
             let end = (start + chunk).min(len);
-            let _span = snap_trace::span!("exec.chunk", "start" => start);
+            let _span = snap_trace::span_linked_with("exec.chunk", "start", start as u64, origin);
             for (i, item) in items[start..end].iter().enumerate() {
                 // SAFETY: fetch_add hands each block to one task.
                 unsafe { slots.write(start + i, f(item)) };
@@ -272,7 +276,7 @@ pub fn map_slice_with<T: Send + Sync, R: Send>(
             let start = (w * block).min(len);
             let end = ((w + 1) * block).min(len);
             metrics::EXEC_CHUNKS_CLAIMED.incr();
-            let _span = snap_trace::span!("exec.chunk", "start" => start);
+            let _span = snap_trace::span_linked_with("exec.chunk", "start", start as u64, origin);
             for (i, item) in items[start..end].iter().enumerate() {
                 // SAFETY: static blocks are disjoint per task index.
                 unsafe { slots.write(start + i, f(item)) };
@@ -322,6 +326,9 @@ pub fn try_map_slice_with<T: Send + Sync, R: Send>(
     let injector = injector();
     let expired = || matches!(policy.deadline, Some(d) if started.elapsed() >= d);
     let workers = workers.max(1).min(len);
+    // Causal anchor for chunk, retry, and salvage spans (see
+    // `map_slice_with`): the innermost span open on the calling thread.
+    let origin = snap_trace::current_span_id();
     let mut out: Vec<Option<R>> = Vec::with_capacity(len);
     out.resize_with(len, || None);
     let failed: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
@@ -346,6 +353,16 @@ pub fn try_map_slice_with<T: Send + Sync, R: Send>(
                     let message = panic_message(payload.as_ref());
                     if attempt < policy.retries {
                         metrics::FAULT_RETRIES_SCHEDULED.incr();
+                        // The retry span covers the backoff wait and links
+                        // back to the originating parallel call, so the
+                        // fault ladder's second rung is visible (and
+                        // attributable) in the Chrome trace.
+                        let _retry = snap_trace::span_linked_with(
+                            "fault.retry",
+                            "item",
+                            index as u64,
+                            origin,
+                        );
                         std::thread::sleep(policy.backoff_for(attempt));
                         attempt += 1;
                     } else {
@@ -394,7 +411,8 @@ pub fn try_map_slice_with<T: Send + Sync, R: Send>(
                 }
                 metrics::EXEC_CHUNKS_CLAIMED.incr();
                 let end = (start + chunk).min(len);
-                let _span = snap_trace::span!("exec.chunk", "start" => start);
+                let _span =
+                    snap_trace::span_linked_with("exec.chunk", "start", start as u64, origin);
                 for (i, item) in items[start..end].iter().enumerate() {
                     if let Some(value) = attempt_item(start + i, item) {
                         // SAFETY: fetch_add hands each block to one task.
@@ -409,7 +427,8 @@ pub fn try_map_slice_with<T: Send + Sync, R: Send>(
                 if start < end {
                     metrics::EXEC_CHUNKS_CLAIMED.incr();
                 }
-                let _span = snap_trace::span!("exec.chunk", "start" => start);
+                let _span =
+                    snap_trace::span_linked_with("exec.chunk", "start", start as u64, origin);
                 // A static block is one worker's whole share; walk it in
                 // chunk-sized strides so the deadline is still observed
                 // at a useful granularity.
@@ -461,6 +480,8 @@ pub fn try_map_slice_with<T: Send + Sync, R: Send>(
         // give the failed items one clean sequential run on the caller's
         // thread. A panic here is genuine (no injector) and final.
         metrics::FAULT_ITEMS_REASSIGNED.add(failed.len() as u64);
+        let _salvage =
+            snap_trace::span_linked_with("fault.salvage", "items", failed.len() as u64, origin);
         snap_trace::note(
             "exec.salvage",
             format!("re-running {} failed item(s) sequentially", failed.len()),

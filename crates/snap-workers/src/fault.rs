@@ -225,6 +225,10 @@ impl FaultInjector {
     pub fn inject(&self, key: u64, attempt: u32) {
         if self.should_delay(key, attempt) {
             snap_trace::well_known::FAULT_INJECTED_DELAYS.incr();
+            // The span makes injected stalls visible in the trace (nested
+            // under the chunk that suffered them, so the parent chain
+            // attributes the delay without an explicit link).
+            let _delay = snap_trace::span_with("fault.injected_delay", "item", key);
             std::thread::sleep(self.delay);
         }
         if self.should_panic(key, attempt) {

@@ -291,6 +291,10 @@ fn worker_loop(
             local: local.clone(),
         });
     });
+    // Register with the sampling profiler immediately so an idle worker
+    // shows up in folded stacks (utilization view) from its first tick,
+    // not from its first span.
+    snap_trace::register_thread();
     let mut rng = (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
     loop {
         if let Some(job) = next_job(&shared, id, &local, &mut rng) {
@@ -460,6 +464,10 @@ impl WorkerPool {
         policy: FaultPolicy,
         job: impl Fn() + Send + 'static,
     ) -> Result<(), PoolClosed> {
+        // Captured on the submitting thread: retries run on a worker,
+        // where the parent stack is empty, so the link is the only thing
+        // tying a `fault.retry` span back to the span that submitted it.
+        let origin = snap_trace::current_span_id();
         self.execute(move || {
             let mut attempt = 0u32;
             loop {
@@ -476,6 +484,12 @@ impl WorkerPool {
                         );
                         if attempt < policy.retries {
                             metrics::FAULT_RETRIES_SCHEDULED.incr();
+                            let _retry = snap_trace::span_linked_with(
+                                "fault.retry",
+                                "attempt",
+                                attempt as u64,
+                                origin,
+                            );
                             std::thread::sleep(policy.backoff_for(attempt));
                             attempt += 1;
                         } else {

@@ -9,6 +9,7 @@
 //! ```sh
 //! cargo run --release --example climate
 //! cargo run --release --example climate -- --trace target/climate_trace.json
+//! cargo run --release --example climate -- --serve-metrics
 //! ```
 //!
 //! With `--trace <path>`, span recording is enabled; the run prints its
@@ -16,20 +17,17 @@
 //! to `<path>` plus the report JSON to `<path>.report.json`. The °F→°C
 //! `parallelMap` phase is all-numeric, so the traced report shows the
 //! columnar batch tier engaging (`ring.batch_calls`, `ring.batch_elems`,
-//! `par.columnar_chunks`).
+//! `par.columnar_chunks`). With `--serve-metrics`, the MapReduce keeps
+//! re-running while live `/metrics`, `/report.json`, and `/profile` are
+//! served (see `examples/util/cli.rs`).
 
 use std::sync::Arc;
 
 use snap_core::data::{f_to_c, generate_noaa, NoaaConfig};
 use snap_core::prelude::*;
 
-/// `--trace <path>` argument, if present.
-fn trace_path() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1).cloned())
-}
+#[path = "util/cli.rs"]
+mod cli;
 
 /// The Fig. 19 mapper: °F → `["avg", °C]`.
 fn climate_mapper() -> Expr {
@@ -54,10 +52,7 @@ fn averaging_reducer() -> Expr {
 }
 
 fn main() {
-    let trace = trace_path();
-    if trace.is_some() {
-        snap_core::trace::set_enabled(true);
-    }
+    let opts = cli::TraceOpts::from_args();
     // A quick classroom-sized run, as blocks (Fig. 13): freezing and
     // boiling average to 50 °C.
     let mut session = Session::load(Project::new("climate").with_sprite(SpriteDef::new("S")));
@@ -148,16 +143,15 @@ fn main() {
         config.warming_f_per_decade
     );
 
-    if let Some(path) = trace {
-        let report = snap_core::trace::report();
-        println!("\n{}", report.to_table());
-        let spans = snap_core::trace::collect_spans();
-        std::fs::write(&path, snap_core::trace::chrome_trace_json(&spans)).expect("write trace");
-        let report_path = format!("{path}.report.json");
-        std::fs::write(&report_path, report.to_json()).expect("write report");
-        println!(
-            "wrote {} spans to {path} (report: {report_path})",
-            spans.len()
-        );
-    }
+    opts.serve_and_rerun(|| {
+        let out = snap_core::parallel::map_reduce(
+            mapper.clone(),
+            reducer.clone(),
+            dataset.temps_f_values(),
+            4,
+        )
+        .expect("climate MapReduce runs");
+        assert_eq!(out.len(), 1);
+    });
+    opts.finish();
 }

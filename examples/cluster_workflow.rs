@@ -7,7 +7,13 @@
 //!
 //! ```sh
 //! cargo run --release --example cluster_workflow
+//! cargo run --release --example cluster_workflow -- --serve-metrics
 //! ```
+//!
+//! With `--serve-metrics`, the fault-tolerant distributed map keeps
+//! re-running while live `/metrics`, `/report.json`, and `/profile` are
+//! served (see `examples/util/cli.rs`); `--trace <path>` writes a
+//! Chrome trace on exit.
 
 use snap_core::build::{BatchRequest, BatchScheduler, BuildPipeline, JobSpec, Policy};
 use snap_core::codegen::openmp::{averaging_reducer, climate_mapper, emit_mapreduce_openmp};
@@ -16,7 +22,11 @@ use snap_core::parallel::{strong_scaling_sweep, ClusterSpec};
 use snap_core::prelude::*;
 use std::sync::Arc;
 
+#[path = "util/cli.rs"]
+mod cli;
+
 fn main() {
+    let opts = cli::TraceOpts::from_args();
     // ---- Fig. 17: the full pipeline against a busy simulated cluster --
     println!("=== blocks -> OpenMP -> compile -> batch queue -> results ===");
     let dataset = generate_noaa(&NoaaConfig {
@@ -134,4 +144,13 @@ fn main() {
         recovered.speculative_runs
     );
     println!("(identical results either way; the faults only cost modeled time)");
+
+    let ring = Arc::new(Ring::reporter(mul(empty_slot(), num(10.0))));
+    opts.serve_and_rerun(|| {
+        let items: Vec<Value> = (0..4096).map(|n| Value::Number(n as f64)).collect();
+        let run = snap_core::parallel::distributed_map(ring.clone(), items, &faulty)
+            .expect("faulty rerun");
+        assert_eq!(run.results.len(), 4096);
+    });
+    opts.finish();
 }

@@ -18,25 +18,8 @@
 
 use snap_core::prelude::*;
 
-/// `--trace <path>` argument, if present.
-fn trace_path() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-/// Write the Chrome trace and the ExecutionReport JSON next to it.
-fn dump_trace(path: &str) {
-    let spans = snap_core::trace::collect_spans();
-    std::fs::write(path, snap_core::trace::chrome_trace_json(&spans)).expect("write trace");
-    let report_path = format!("{path}.report.json");
-    std::fs::write(&report_path, snap_core::trace::report().to_json()).expect("write report");
-    println!(
-        "\nwrote {} spans to {path} (report: {report_path})",
-        spans.len()
-    );
-}
+#[path = "util/cli.rs"]
+mod cli;
 
 /// Build the concession-stand project in either mode.
 fn concession(parallel: bool) -> Project {
@@ -116,10 +99,7 @@ fn show_parallel_frames() {
 }
 
 fn main() {
-    let trace = trace_path();
-    if trace.is_some() {
-        snap_core::trace::set_enabled(true);
-    }
+    let opts = cli::TraceOpts::from_args();
     println!("Concession stand: 3 cups, 3 timesteps per glass\n");
 
     let (seq_fills, seq_total) = run_mode("sequential mode (Fig. 10)", false);
@@ -164,7 +144,9 @@ fn main() {
     println!();
     show_parallel_frames();
 
-    if let Some(path) = trace {
-        dump_trace(&path);
-    }
+    opts.serve_and_rerun(|| {
+        let mut session = Session::load(concession(true));
+        session.run();
+    });
+    opts.finish();
 }

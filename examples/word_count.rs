@@ -7,11 +7,15 @@
 //! ```sh
 //! cargo run --release --example word_count
 //! cargo run --release --example word_count -- --trace target/word_count_trace.json
+//! cargo run --release --example word_count -- --serve-metrics 127.0.0.1:9300
 //! ```
 //!
 //! With `--trace <path>`, span recording is enabled; the run prints its
 //! `snap_trace::report()` table and writes a Chrome `trace_event` JSON
-//! to `<path>` plus the report JSON to `<path>.report.json`.
+//! to `<path>` plus the report JSON to `<path>.report.json`. With
+//! `--serve-metrics`, the process keeps re-running the MapReduce while
+//! serving live `/metrics`, `/report.json`, and `/profile` (see
+//! `examples/util/cli.rs`).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -19,19 +23,11 @@ use std::time::Instant;
 use snap_core::data::{generate_words, reference_counts};
 use snap_core::prelude::*;
 
-/// `--trace <path>` argument, if present.
-fn trace_path() -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1).cloned())
-}
+#[path = "util/cli.rs"]
+mod cli;
 
 fn main() {
-    let trace = trace_path();
-    if trace.is_some() {
-        snap_core::trace::set_enabled(true);
-    }
+    let opts = cli::TraceOpts::from_args();
     // --- Figure 11: word count as blocks ----------------------------
     let sentence = "the quick brown fox jumps over the lazy dog the end";
     let project = Project::new("word-count").with_sprite(SpriteDef::new("Counter").with_script(
@@ -96,16 +92,20 @@ fn main() {
     }
     println!("all worker counts agree with the sequential reference");
 
-    if let Some(path) = trace {
-        let report = snap_core::trace::report();
-        println!("\n{}", report.to_table());
-        let spans = snap_core::trace::collect_spans();
-        std::fs::write(&path, snap_core::trace::chrome_trace_json(&spans)).expect("write trace");
-        let report_path = format!("{path}.report.json");
-        std::fs::write(&report_path, report.to_json()).expect("write report");
-        println!(
-            "wrote {} spans to {path} (report: {report_path})",
-            spans.len()
-        );
-    }
+    // --serve-metrics: keep the shuffle hot so a live scrape always has
+    // fresh windowed percentiles for shuffle.merge_ns. The Zipf corpus's
+    // combined pair stream stays under the parallel-shuffle threshold
+    // (map-side combining collapses it to ~#unique keys), so the rerun
+    // uses a high-cardinality corpus whose combined stream still crosses
+    // it: 4 chunks × 700 keys ≥ PARALLEL_SHUFFLE_THRESHOLD.
+    let hot_items: Vec<Value> = (0..3 * snap_core::parallel::PARALLEL_SHUFFLE_THRESHOLD)
+        .map(|i| Value::text(format!("w{}", i % 700)))
+        .collect();
+    opts.serve_and_rerun(|| {
+        let out =
+            snap_core::parallel::map_reduce(mapper.clone(), reducer.clone(), hot_items.clone(), 4)
+                .expect("word count runs");
+        assert_eq!(out.len(), 700);
+    });
+    opts.finish();
 }

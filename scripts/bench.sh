@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Perf-baseline runner: executes the scheduler benches (pool_reuse,
 # ablate_sched) plus the ring-evaluation benches (ring_eval,
-# word_count_combine, batch_eval) and writes a machine-readable JSON of
-# their median per-iteration times, so future PRs can compare against
-# this PR's numbers without re-reading bench logs.
+# word_count_combine, batch_eval) and the telemetry-overhead pair
+# (trace_overhead), and writes a machine-readable JSON of their median
+# per-iteration times, so future PRs can compare against this PR's
+# numbers without re-reading bench logs.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_6.json)
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_BASELINE.json)
 #
 # Each entry carries the bench label, the median time in nanoseconds,
 # and the worker count the bench ran with (parsed from the label when
@@ -13,14 +14,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_BASELINE.json}"
 DATE="$(git log -1 --format=%cI 2>/dev/null || date -Iseconds)"
 CPUS="$(nproc 2>/dev/null || echo 1)"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-for bench in pool_reuse ablate_sched ring_eval word_count_combine batch_eval; do
+for bench in pool_reuse ablate_sched ring_eval word_count_combine batch_eval trace_overhead; do
   echo "==> cargo bench -p bench --bench $bench" >&2
   cargo bench -p bench --bench "$bench" 2>/dev/null | tee /dev/stderr | grep "time:" >>"$RAW"
 done

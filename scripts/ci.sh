@@ -49,14 +49,28 @@ echo "==> experiment report (target/ci/report_output.txt)"
 cargo run --release -p bench --bin report > target/ci/report_output.txt
 tail -n 5 target/ci/report_output.txt
 
-echo "==> bench smoke run + regression gates (BENCH_3 + BENCH_5 carry-over + BENCH_6)"
-scripts/bench.sh target/ci/BENCH_6.json
+echo "==> live telemetry: word_count --serve-metrics, scrape /metrics + /profile"
+cargo run --release --example word_count -- --serve-metrics 127.0.0.1:9309 --serve-seconds 20 \
+  > target/ci/word_count_serve.txt &
+SERVE_PID=$!
 cargo run --release -p bench --bin trace_check -- \
-  --bench-json target/ci/BENCH_6.json --baseline BENCH_3.json
+  --scrape 127.0.0.1:9309 /metrics target/ci/metrics.prom --retry 15 \
+  --expect-positive 'snap_shuffle_merge_ns_window{quantile="0.99",window="60s"}' \
+  --expect-positive 'snap_pool_jobs_executed ' \
+  --expect snap_vm_frame_ns_window
 cargo run --release -p bench --bin trace_check -- \
-  --bench-json target/ci/BENCH_6.json --baseline BENCH_5.json
+  --scrape 127.0.0.1:9309 '/profile?seconds=2' target/ci/word_count.folded --retry 3 \
+  --expect 'snap-worker'
+wait "$SERVE_PID"
+
+echo "==> bench smoke run + regression gate (unified BENCH_BASELINE)"
+scripts/bench.sh target/ci/BENCH_BASELINE.json
 cargo run --release -p bench --bin trace_check -- \
-  --bench-json target/ci/BENCH_6.json --baseline BENCH_6.json
+  --bench-json target/ci/BENCH_BASELINE.json --baseline BENCH_BASELINE.json
+
+echo "==> telemetry overhead gate (continuous tier must cost <3%)"
+cargo run --release -p bench --bin trace_check -- \
+  --overhead-gate target/ci/BENCH_BASELINE.json
 
 echo "==> chaos: fault-injection stress under a fixed seed"
 mkdir -p target/ci/chaos
