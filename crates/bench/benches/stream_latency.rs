@@ -1,0 +1,60 @@
+//! A8: end-to-end streaming latency on a short numeric pipeline.
+//!
+//! A two-stage batchable numeric pipeline (°F→°C then ×10) over a
+//! columnar-friendly stream: the measured time is the full source →
+//! stage → stage → ordered-sink traversal including channel hops, so
+//! regressions in channel wakeups, credit accounting, or the reorder
+//! buffer show here before they show in throughput. Every run also
+//! feeds the `stream.latency_ns` histogram, which is what `/metrics`
+//! serves as windowed p50/p95/p99 during live runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use snap_ast::builder::*;
+use snap_ast::{Ring, Value};
+use snap_parallel::{Pipeline, StreamConfig};
+
+const ITEMS: usize = 2_048;
+const BLOCK: usize = 64;
+
+fn f_to_c() -> Arc<Ring> {
+    Arc::new(Ring::reporter_with_params(
+        vec!["t".into()],
+        div(mul(num(5.0), sub(var("t"), num(32.0))), num(9.0)),
+    ))
+}
+
+fn times_ten() -> Arc<Ring> {
+    Arc::new(Ring::reporter(mul(empty_slot(), num(10.0))))
+}
+
+fn bench_stream_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a8_stream_latency");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(ITEMS as u64));
+
+    let items: Vec<Value> = (0..ITEMS).map(|n| Value::Number(n as f64)).collect();
+
+    group.bench_function("numeric_2stage", move |b| {
+        let pipeline = Pipeline::new(StreamConfig {
+            block_items: BLOCK,
+            ..Default::default()
+        })
+        .map(f_to_c())
+        .map(times_ten());
+        b.iter(|| {
+            let (out, stats) = pipeline.run_with_stats(black_box(items.clone())).unwrap();
+            assert_eq!(stats.items_out, ITEMS as u64);
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_latency);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! A8: streaming pipeline throughput vs the batch-restart loop.
+//!
+//! The same chunked word-count traffic runs two ways: as one streaming
+//! [`Pipeline`] (map → windowed reduce-by-key, window = chunk) over the
+//! whole corpus, and as the pre-streaming alternative — a fresh
+//! `mapReduce` call per chunk. Each batch call re-pays pipeline startup
+//! (two pool scatters, defensive input clones, result reassembly), so
+//! the streaming tier's advantage is overhead elimination: on the CI
+//! host the target is ≥2× items/sec at bounded memory (the stream's
+//! peak RSS is set by channel capacity × block size, not corpus size).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use snap_ast::builder::*;
+use snap_ast::{Ring, Value};
+use snap_data::generate_words;
+use snap_parallel::{map_reduce, Pipeline, StreamConfig};
+
+const WORDS: usize = 20_000;
+/// Items per arriving chunk: small enough that per-call startup
+/// dominates the batch-restart loop, as it does for live traffic.
+const CHUNK: usize = 16;
+const WORKERS: usize = 4;
+
+fn mapper() -> Arc<Ring> {
+    Arc::new(Ring::reporter_with_params(
+        vec!["w".into()],
+        make_list(vec![var("w"), num(1.0)]),
+    ))
+}
+
+fn reducer() -> Arc<Ring> {
+    Arc::new(Ring::reporter_with_params(
+        vec!["vals".into()],
+        combine_using(var("vals"), ring_reporter(add(empty_slot(), empty_slot()))),
+    ))
+}
+
+fn bench_stream_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a8_stream_throughput");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WORDS as u64));
+
+    let items: Vec<Value> = generate_words(WORDS, 42)
+        .into_iter()
+        .map(Value::from)
+        .collect();
+
+    // One long-lived pipeline over the whole corpus; each CHUNK-pair
+    // window reduces as its pairs arrive.
+    {
+        let items = items.clone();
+        group.bench_function("streaming", move |b| {
+            let pipeline = Pipeline::new(StreamConfig {
+                block_items: CHUNK,
+                ..Default::default()
+            })
+            .map(mapper())
+            .reduce_by_key(reducer(), CHUNK);
+            b.iter(|| {
+                let mut out = 0usize;
+                let stats = pipeline
+                    .run_each(black_box(items.clone()), |v| {
+                        black_box(&v);
+                        out += 1;
+                    })
+                    .unwrap();
+                assert_eq!(stats.items_in, WORDS as u64);
+                black_box(out)
+            })
+        });
+    }
+
+    // The restart loop: a full mapReduce per arriving chunk.
+    {
+        let items = items.clone();
+        group.bench_function("batch_restart", move |b| {
+            b.iter(|| {
+                let mut out = 0usize;
+                for chunk in items.chunks(CHUNK) {
+                    out += map_reduce(mapper(), reducer(), black_box(chunk.to_vec()), WORKERS)
+                        .unwrap()
+                        .len();
+                }
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_throughput);
+criterion_main!(benches);

@@ -5,9 +5,9 @@
 //! cargo run -p bench --bin trace_check -- target/trace.json [target/trace.json.report.json]
 //! cargo run -p bench --bin trace_check -- target/trace.json target/trace.json.report.json \
 //!     --require-counter shuffle.pairs_combined
-//! cargo run -p bench --bin trace_check -- --bench-json target/ci/BENCH_5.json
-//! cargo run -p bench --bin trace_check -- --bench-json target/ci/BENCH_5.json \
-//!     --baseline BENCH_5.json
+//! cargo run -p bench --bin trace_check -- --bench-json target/ci/BENCH_BASELINE.json
+//! cargo run -p bench --bin trace_check -- --bench-json target/ci/BENCH_BASELINE.json \
+//!     --baseline BENCH_BASELINE.json
 //! ```
 //!
 //! Report validation checks the schema (counters/gauges/spans/
@@ -91,8 +91,12 @@ fn check_trace(path: &str) -> Result<(), String> {
 /// Counters every `ExecutionReport` JSON must carry — the observability
 /// contract each subsystem PR extends. PR 5 added the ring-bytecode
 /// tiers and the map-side combiner; PR 6 added the columnar batch tier;
-/// PR 7 added the continuous-telemetry self-audit counters.
+/// PR 7 added the continuous-telemetry self-audit counters; PR 8 added
+/// the streaming-pipeline counters.
 const REQUIRED_REPORT_COUNTERS: &[&str] = &[
+    "stream.items_in",
+    "stream.items_out",
+    "stream.blocks",
     "pool.jobs_executed",
     "compile_cache.hits",
     "compile_cache.misses",
@@ -183,7 +187,9 @@ fn check_bench_json(path: &str) -> Result<(), String> {
 /// The `a5` pair gates the ring-bytecode fast path and the map-side
 /// combiner: both are per-item/per-pair CPU work, stable on one core.
 /// The `a6` pair gates the columnar batch tier: the raw `eval_batch`
-/// lane loops and the end-to-end columnar `parallelMap` pipeline.
+/// lane loops and the end-to-end columnar `parallelMap` pipeline. The
+/// `a8` pair gates the streaming tier: whole-corpus streaming word
+/// count and the short-pipeline end-to-end latency.
 const GATED_BENCHES: &[&str] = &[
     "a1_job_churn/1",
     "a1_nested_latency/outer2_inner8",
@@ -191,6 +197,8 @@ const GATED_BENCHES: &[&str] = &[
     "a5_word_count_combine/combiner_on",
     "a6_batch_eval/eval_batch",
     "a6_columnar_map/columnar_on",
+    "a8_stream_throughput/streaming",
+    "a8_stream_latency/numeric_2stage",
 ];
 
 /// Regression tolerance for gated benches: fail when `current` is more

@@ -59,6 +59,9 @@ fn full_report_json() -> String {
         "trace.spans_dropped",
         "trace.overhead_ns",
         "trace.profile_samples",
+        "stream.items_in",
+        "stream.items_out",
+        "stream.blocks",
     ];
     let body: Vec<String> = counters.iter().map(|c| format!("\"{c}\": 1")).collect();
     format!(

@@ -27,6 +27,7 @@ pub mod backend;
 pub mod blocks;
 pub mod distributed;
 pub mod shuffle;
+pub mod stream;
 
 pub use backend::{install, install_with, WorkerBackend};
 pub use blocks::{
@@ -38,3 +39,4 @@ pub use distributed::{distributed_map, strong_scaling_sweep, ClusterSpec, Distri
 pub use shuffle::{
     combine_pairs, shuffle, shuffle_parallel, shuffle_seq, PARALLEL_SHUFFLE_THRESHOLD,
 };
+pub use stream::{Emitter, Pipeline, StreamConfig, StreamStats};

@@ -458,6 +458,28 @@ pub mod well_known {
     /// `/metrics` scrapes answered by the telemetry server.
     pub static TRACE_METRICS_SCRAPES: Counter = Counter::new("trace.metrics_scrapes");
 
+    /// Items pulled into a streaming pipeline by its source node.
+    pub static STREAM_ITEMS_IN: Counter = Counter::new("stream.items_in");
+    /// Items delivered to a streaming pipeline's sink.
+    pub static STREAM_ITEMS_OUT: Counter = Counter::new("stream.items_out");
+    /// Item-blocks that flowed through streaming channels (all stages).
+    pub static STREAM_BLOCKS: Counter = Counter::new("stream.blocks");
+    /// Reduce-by-key windows closed (including the end-of-stream flush).
+    pub static STREAM_WINDOWS: Counter = Counter::new("stream.windows");
+    /// Blocks that panicked past their retry budget and went through
+    /// the per-item salvage pass instead of killing the stream.
+    pub static STREAM_BLOCKS_SALVAGED: Counter = Counter::new("stream.blocks_salvaged");
+    /// Items dropped by salvage because they panicked on every attempt.
+    pub static STREAM_ITEMS_DROPPED: Counter = Counter::new("stream.items_dropped");
+    /// Times a stage blocked on a full downstream channel
+    /// (backpressure waits, not spin retries).
+    pub static STREAM_BACKPRESSURE_WAITS: Counter = Counter::new("stream.backpressure_waits");
+    /// Blocks currently queued across all streaming channels.
+    pub static STREAM_QUEUE_DEPTH: Gauge = Gauge::new("stream.queue_depth");
+    /// End-to-end latency of each block, source pack to sink emit,
+    /// nanoseconds — feeds the windowed p50/p95/p99 on `/metrics`.
+    pub static STREAM_LATENCY_NS: Histogram = Histogram::new("stream.latency_ns");
+
     /// VM frames executed (`step_frame` calls, stolen or not).
     pub static VM_FRAMES: Counter = Counter::new("vm.frames");
     /// VM frames consumed by the interference model.
@@ -471,7 +493,7 @@ pub mod well_known {
 }
 
 /// Every well-known counter, for enumeration by reports.
-pub fn known_counters() -> [&'static Counter; 49] {
+pub fn known_counters() -> [&'static Counter; 56] {
     use well_known::*;
     [
         &POOL_JOBS_SUBMITTED,
@@ -518,6 +540,13 @@ pub fn known_counters() -> [&'static Counter; 49] {
         &DIST_ITEMS_REASSIGNED,
         &DIST_SPECULATIVE_RUNS,
         &DIST_DEGRADED_RUNS,
+        &STREAM_ITEMS_IN,
+        &STREAM_ITEMS_OUT,
+        &STREAM_BLOCKS,
+        &STREAM_WINDOWS,
+        &STREAM_BLOCKS_SALVAGED,
+        &STREAM_ITEMS_DROPPED,
+        &STREAM_BACKPRESSURE_WAITS,
         &VM_PROCESSES_SPAWNED,
         &TRACE_SPANS_DROPPED,
         &TRACE_OVERHEAD_NS,
@@ -527,15 +556,20 @@ pub fn known_counters() -> [&'static Counter; 49] {
 }
 
 /// Every well-known gauge.
-pub fn known_gauges() -> [&'static Gauge; 2] {
+pub fn known_gauges() -> [&'static Gauge; 3] {
     use well_known::*;
-    [&POOL_QUEUE_DEPTH, &VM_LIVE_PROCESSES]
+    [&POOL_QUEUE_DEPTH, &STREAM_QUEUE_DEPTH, &VM_LIVE_PROCESSES]
 }
 
 /// Every well-known histogram.
-pub fn known_histograms() -> [&'static Histogram; 3] {
+pub fn known_histograms() -> [&'static Histogram; 4] {
     use well_known::*;
-    [&SHUFFLE_PARTITION_SIZE, &SHUFFLE_MERGE_NS, &VM_FRAME_NS]
+    [
+        &SHUFFLE_PARTITION_SIZE,
+        &SHUFFLE_MERGE_NS,
+        &STREAM_LATENCY_NS,
+        &VM_FRAME_NS,
+    ]
 }
 
 /// The VM frame counters, exported separately so reports can show the
@@ -614,6 +648,21 @@ pub fn histogram_owned(name: String) -> &'static Histogram {
     let leaked_name: &'static str = Box::leak(name.into_boxed_str());
     let leaked: &'static Histogram = Box::leak(Box::new(Histogram::new(leaked_name)));
     reg.histograms.push(leaked);
+    leaked
+}
+
+/// Intern a gauge under a runtime-built name (see [`histogram_owned`]).
+/// Used for per-stage streaming queue-depth gauges
+/// (`stream.stage<N>.queue_depth`), where the stage count is only known
+/// when a pipeline is built; hot paths cache the returned reference.
+pub fn gauge_owned(name: String) -> &'static Gauge {
+    let mut reg = dynamic().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(existing) = reg.gauges.iter().find(|g| g.name == name) {
+        return existing;
+    }
+    let leaked_name: &'static str = Box::leak(name.into_boxed_str());
+    let leaked: &'static Gauge = Box::leak(Box::new(Gauge::new(leaked_name)));
+    reg.gauges.push(leaked);
     leaked
 }
 

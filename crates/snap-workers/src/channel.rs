@@ -1,0 +1,392 @@
+//! Bounded blocking channels for the streaming tier.
+//!
+//! A [`BoundedQueue`] is the inter-stage edge of a streaming pipeline:
+//! a fixed-capacity FIFO of item-blocks with *blocking backpressure* —
+//! a producer that outruns its consumer parks on a condvar instead of
+//! growing the queue, so peak memory is set by channel capacity, not by
+//! how many items the stream has seen. This is the Mutex+Condvar
+//! analogue of the bounded channels that algorithmic-skeleton libraries
+//! put between pipeline stages; the coarse lock is fine here because
+//! channel traffic is per *block* (hundreds of items), not per item.
+//!
+//! Both endpoints are cloneable, making the queue MPMC: a farm of stage
+//! workers shares one [`Receiver`] (SPMC fan-out) and the workers of
+//! the previous stage share one [`Sender`] (MPSC fan-in). Endpoint
+//! drops are tracked so the queue closes structurally: when every
+//! `Sender` is gone a drained queue yields `None`; when every
+//! `Receiver` is gone further sends fail fast rather than block on a
+//! full queue nobody will ever drain.
+//!
+//! [`Sender::poison`] / [`Receiver::poison`] exist for error aborts:
+//! they close the queue *and discard its contents* so every peer
+//! blocked in `send` or `recv` wakes immediately.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use snap_trace::well_known::{STREAM_BACKPRESSURE_WAITS, STREAM_QUEUE_DEPTH};
+use snap_trace::Gauge;
+
+/// The error returned by [`Sender::send`] when the queue is closed (or
+/// every receiver is gone); carries the unsent item back to the caller.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    peak: AtomicUsize,
+    /// Optional per-channel depth gauge (e.g. `stream.stage2.queue_depth`),
+    /// mirrored into the global `stream.queue_depth` either way.
+    gauge: Option<&'static Gauge>,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    senders: usize,
+    receivers: usize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn poison(&self) {
+        let mut state = self.lock();
+        let dropped = state.items.len();
+        state.items.clear();
+        state.closed = true;
+        drop(state);
+        if dropped > 0 {
+            STREAM_QUEUE_DEPTH.add(-(dropped as i64));
+            if let Some(gauge) = self.gauge {
+                gauge.add(-(dropped as i64));
+            }
+        }
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// A passive observer of one queue: it can poison the channel and read
+/// its peak depth, but holds neither endpoint — so keeping a monitor
+/// alive never delays the structural close that endpoint drops trigger.
+/// This is what a pipeline's abort path holds for every inter-stage
+/// edge.
+pub struct ChannelMonitor<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> ChannelMonitor<T> {
+    /// Close the queue and discard everything in it, waking all blocked
+    /// peers.
+    pub fn poison(&self) {
+        self.shared.poison();
+    }
+
+    /// Highest queue depth ever observed on this channel.
+    pub fn peak_depth(&self) -> usize {
+        self.shared.peak.load(Ordering::Relaxed)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+}
+
+impl<T> Clone for ChannelMonitor<T> {
+    fn clone(&self) -> ChannelMonitor<T> {
+        ChannelMonitor {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// The producing endpoint of a bounded queue. Cloning adds a producer;
+/// when the last clone drops, the queue closes for writing and drained
+/// receivers see end-of-stream.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming endpoint of a bounded queue. Cloning adds a consumer
+/// (a farm worker); when the last clone drops, blocked and future sends
+/// fail with [`SendError`].
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a bounded queue of at most `capacity` in-flight items, with
+/// an optional per-channel depth gauge.
+pub fn bounded<T>(capacity: usize, gauge: Option<&'static Gauge>) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "bounded channel capacity must be nonzero");
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State {
+            items: VecDeque::with_capacity(capacity),
+            closed: false,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity,
+        peak: AtomicUsize::new(0),
+        gauge,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `item`, blocking while the queue is at capacity
+    /// (backpressure). Fails — returning the item — once the queue is
+    /// closed or the last receiver is gone.
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut state = shared.lock();
+        loop {
+            if state.closed || state.receivers == 0 {
+                return Err(SendError(item));
+            }
+            if state.items.len() < shared.capacity {
+                break;
+            }
+            STREAM_BACKPRESSURE_WAITS.incr();
+            state = shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        shared.peak.fetch_max(depth, Ordering::Relaxed);
+        drop(state);
+        STREAM_QUEUE_DEPTH.incr();
+        if let Some(gauge) = shared.gauge {
+            gauge.incr();
+        }
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Close the queue and discard everything in it, waking all blocked
+    /// peers. Used to abort a pipeline on error.
+    pub fn poison(&self) {
+        self.shared.poison();
+    }
+
+    /// Highest queue depth ever observed on this channel.
+    pub fn peak_depth(&self) -> usize {
+        self.shared.peak.load(Ordering::Relaxed)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// A passive monitor for this channel.
+    pub fn monitor(&self) -> ChannelMonitor<T> {
+        ChannelMonitor {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the next item, blocking while the queue is empty and
+    /// producers remain. Returns `None` at end-of-stream: the queue is
+    /// drained and closed (or every sender is gone).
+    pub fn recv(&self) -> Option<T> {
+        let shared = &*self.shared;
+        let mut state = shared.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                STREAM_QUEUE_DEPTH.decr();
+                if let Some(gauge) = shared.gauge {
+                    gauge.decr();
+                }
+                shared.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed || state.senders == 0 {
+                return None;
+            }
+            state = shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Close the queue and discard everything in it, waking all blocked
+    /// peers. Used to abort a pipeline on error.
+    pub fn poison(&self) {
+        self.shared.poison();
+    }
+
+    /// Highest queue depth ever observed on this channel.
+    pub fn peak_depth(&self) -> usize {
+        self.shared.peak.load(Ordering::Relaxed)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// A passive monitor for this channel.
+    pub fn monitor(&self) -> ChannelMonitor<T> {
+        ChannelMonitor {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // End-of-stream for readers blocked on an empty queue.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.receivers -= 1;
+        let last = state.receivers == 0;
+        drop(state);
+        if last {
+            // Fail writers fast: nobody will ever drain the queue.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip_in_order() {
+        let (tx, rx) = bounded(4, None);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.recv(), Some(0));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        assert_eq!(rx.recv(), None, "drained + all senders gone = EOS");
+    }
+
+    #[test]
+    fn send_blocks_at_capacity_until_a_recv() {
+        let (tx, rx) = bounded(1, None);
+        tx.send(1u32).unwrap();
+        let producer = thread::spawn(move || {
+            tx.send(2).unwrap(); // must block until the main thread recvs
+            tx.peak_depth()
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        let peak = producer.join().unwrap();
+        assert!(peak <= 1, "peak depth {peak} exceeded capacity 1");
+    }
+
+    #[test]
+    fn recv_none_after_last_sender_drops() {
+        let (tx, rx) = bounded::<u32>(2, None);
+        let tx2 = tx.clone();
+        drop(tx);
+        let reader = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(10));
+        drop(tx2);
+        assert_eq!(reader.join().unwrap(), None);
+    }
+
+    #[test]
+    fn send_fails_when_all_receivers_gone() {
+        let (tx, rx) = bounded(1, None);
+        drop(rx);
+        let err = tx.send(7u32).unwrap_err();
+        assert_eq!(err.0, 7);
+    }
+
+    #[test]
+    fn poison_wakes_blocked_sender_and_drains() {
+        let (tx, rx) = bounded(1, None);
+        tx.send(1u32).unwrap();
+        let tx2 = tx.clone();
+        let producer = thread::spawn(move || tx2.send(2).is_err());
+        thread::sleep(Duration::from_millis(10));
+        rx.poison();
+        assert!(producer.join().unwrap(), "poison must fail blocked sends");
+        assert_eq!(rx.recv(), None, "poison discards queued items");
+        assert!(tx.send(3).is_err());
+    }
+
+    #[test]
+    fn shared_receiver_fans_out_every_item_once() {
+        let (tx, rx) = bounded(8, None);
+        let rx2 = rx.clone();
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = rx2.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let mut local = Vec::new();
+        for i in 0..100u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        while let Some(v) = rx.recv() {
+            local.push(v);
+        }
+        let mut all = consumer.join().unwrap();
+        all.extend(local);
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -2,7 +2,8 @@
 # Perf-baseline runner: executes the scheduler benches (pool_reuse,
 # ablate_sched) plus the ring-evaluation benches (ring_eval,
 # word_count_combine, batch_eval) and the telemetry-overhead pair
-# (trace_overhead), and writes a machine-readable JSON of their median
+# (trace_overhead) and the streaming-tier pair (stream_throughput,
+# stream_latency), and writes a machine-readable JSON of their median
 # per-iteration times, so future PRs can compare against this PR's
 # numbers without re-reading bench logs.
 #
@@ -21,7 +22,8 @@ CPUS="$(nproc 2>/dev/null || echo 1)"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-for bench in pool_reuse ablate_sched ring_eval word_count_combine batch_eval trace_overhead; do
+for bench in pool_reuse ablate_sched ring_eval word_count_combine batch_eval trace_overhead \
+             stream_throughput stream_latency; do
   echo "==> cargo bench -p bench --bench $bench" >&2
   cargo bench -p bench --bench "$bench" 2>/dev/null | tee /dev/stderr | grep "time:" >>"$RAW"
 done

@@ -45,6 +45,17 @@ cargo run --release -p bench --bin trace_check -- \
   target/ci/climate_trace.json target/ci/climate_trace.json.report.json \
   --require-counter ring.batch_calls --require-counter par.columnar_chunks
 
+echo "==> traced example: word_count --stream (streaming tier must engage)"
+cargo run --release --example word_count -- --stream 64 \
+  --trace target/ci/word_count_stream_trace.json \
+  > target/ci/word_count_stream.txt
+
+echo "==> validate streaming trace + assert items flowed through the pipeline"
+cargo run --release -p bench --bin trace_check -- \
+  target/ci/word_count_stream_trace.json \
+  target/ci/word_count_stream_trace.json.report.json \
+  --require-counter stream.items_out --require-counter stream.blocks
+
 echo "==> experiment report (target/ci/report_output.txt)"
 cargo run --release -p bench --bin report > target/ci/report_output.txt
 tail -n 5 target/ci/report_output.txt
@@ -62,6 +73,17 @@ cargo run --release -p bench --bin trace_check -- \
   --scrape 127.0.0.1:9309 '/profile?seconds=2' target/ci/word_count.folded --retry 3 \
   --expect 'snap-worker'
 wait "$SERVE_PID"
+
+echo "==> live streaming telemetry: word_count --stream --serve-metrics, scrape p99 latency"
+cargo run --release --example word_count -- --stream 64 \
+  --serve-metrics 127.0.0.1:9310 --serve-seconds 20 \
+  > target/ci/word_count_stream_serve.txt &
+STREAM_PID=$!
+cargo run --release -p bench --bin trace_check -- \
+  --scrape 127.0.0.1:9310 /metrics target/ci/stream_metrics.prom --retry 15 \
+  --expect-positive 'snap_stream_latency_ns_window{quantile="0.99",window="60s"}' \
+  --expect-positive 'snap_stream_items_out '
+wait "$STREAM_PID"
 
 echo "==> bench smoke run + regression gate (unified BENCH_BASELINE)"
 scripts/bench.sh target/ci/BENCH_BASELINE.json
