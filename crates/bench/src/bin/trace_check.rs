@@ -21,11 +21,9 @@
 //! `--bench-json` instead validates a `scripts/bench.sh` baseline file
 //! (date, host_cpus, and a non-empty benches array of name/mean_ns/
 //! workers entries). With `--baseline`, the fresh run is additionally
-//! compared against the committed baseline: the gated benches
-//! (`a1_job_churn/1`, `a1_nested_latency/outer2_inner8`,
-//! `a5_ring_eval/bytecode_fastpath`, `a5_word_count_combine/
-//! combiner_on`, `a6_batch_eval/eval_batch`, `a6_columnar_map/
-//! columnar_on`) fail the check when more than 25% slower than
+//! compared against the committed baseline: the gated benches (see
+//! [`GATED_BENCHES`]; from `a1_job_churn/1` through
+//! `a9_native_vs_batch/batch_tier`) fail the check when more than 25% slower than
 //! baseline, and the full comparison table is appended to
 //! `$GITHUB_STEP_SUMMARY` when that variable is set. Exits non-zero if
 //! a file is missing, fails to parse, lacks its required structure,
@@ -114,6 +112,12 @@ const REQUIRED_REPORT_COUNTERS: &[&str] = &[
     "trace.spans_dropped",
     "trace.overhead_ns",
     "trace.profile_samples",
+    "codegen.compiles",
+    "codegen.runs",
+    "codegen.native_elems",
+    "codegen.toolchain_missing",
+    "codegen.cache_hits",
+    "codegen.cache_misses",
 ];
 
 fn check_report(path: &str, require_positive: &[String]) -> Result<(), String> {
@@ -199,6 +203,7 @@ const GATED_BENCHES: &[&str] = &[
     "a6_columnar_map/columnar_on",
     "a8_stream_throughput/streaming",
     "a8_stream_latency/numeric_2stage",
+    "a9_native_vs_batch/batch_tier",
 ];
 
 /// Regression tolerance for gated benches: fail when `current` is more

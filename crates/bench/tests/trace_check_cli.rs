@@ -62,6 +62,12 @@ fn full_report_json() -> String {
         "stream.items_in",
         "stream.items_out",
         "stream.blocks",
+        "codegen.compiles",
+        "codegen.runs",
+        "codegen.native_elems",
+        "codegen.toolchain_missing",
+        "codegen.cache_hits",
+        "codegen.cache_misses",
     ];
     let body: Vec<String> = counters.iter().map(|c| format!("\"{c}\": 1")).collect();
     format!(

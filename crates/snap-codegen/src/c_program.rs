@@ -88,6 +88,14 @@ pub fn emit_listing5() -> String {
     emit_c_program(&map_example_script()).expect("the map example always translates")
 }
 
+/// Listing 5 made actually runnable: the paper's `malloc` list heads
+/// leave `next` uninitialized, so `append`'s `while (p->next != NULL)`
+/// walks garbage. Zeroing the allocations (`calloc`) preserves the
+/// listing's shape while giving every fresh node a NULL `next`.
+pub fn emit_listing5_runnable() -> String {
+    emit_listing5().replace("malloc(sizeof(node_t))", "calloc(1, sizeof(node_t))")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

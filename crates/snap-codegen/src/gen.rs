@@ -60,6 +60,10 @@ pub struct Generator<'a> {
     /// Replacement text for empty slots (set while translating a ring
     /// body, e.g. `__x` inside a generated `map` callback).
     pub slot_name: Option<String>,
+    /// Emit number literals as C *double* literals (`5e0`, not `5`), so
+    /// constant-only subexpressions like `5 / 9` don't silently become
+    /// integer arithmetic inside a double-typed map function.
+    pub float_literals: bool,
     types: TypeEnv,
     declared: HashSet<String>,
     needs_list_runtime: bool,
@@ -74,6 +78,7 @@ impl<'a> Generator<'a> {
             mapping,
             subst: HashMap::new(),
             slot_name: None,
+            float_literals: false,
             types: TypeEnv::default(),
             declared: HashSet::new(),
             needs_list_runtime: false,
@@ -112,6 +117,7 @@ impl<'a> Generator<'a> {
     pub fn constant(&self, c: &Constant) -> Result<String, CodegenError> {
         Ok(match c {
             Constant::Nothing => "0".to_owned(),
+            Constant::Number(n) if self.float_literals => float_literal(*n),
             Constant::Number(n) => snap_ast::Value::format_number(*n),
             Constant::Text(s) => format!("{:?}", s),
             Constant::Bool(b) => match self.target() {
@@ -390,6 +396,22 @@ impl<'a> Generator<'a> {
             return self.fill("declvar", &["let".into(), name_s, value_code]);
         }
         self.fill("setvar", &[name_s, value_code])
+    }
+}
+
+/// Render `n` as a C double literal. `{:e}` is Rust's shortest
+/// round-trip exponential form, which C also reads back to the
+/// identical bits; non-finite values become the standard expression
+/// spellings (`1.0 / 0.0`, `0.0 / 0.0`).
+fn float_literal(n: f64) -> String {
+    if n.is_nan() {
+        "(0.0 / 0.0)".to_owned()
+    } else if n == f64::INFINITY {
+        "(1.0 / 0.0)".to_owned()
+    } else if n == f64::NEG_INFINITY {
+        "(-1.0 / 0.0)".to_owned()
+    } else {
+        format!("{n:e}")
     }
 }
 

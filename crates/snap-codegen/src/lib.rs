@@ -12,16 +12,23 @@
 
 pub mod c_program;
 pub mod gen;
+pub mod harness;
 pub mod mapping;
 pub mod openmp;
 pub mod programs;
 pub mod template;
 pub mod types;
 
-pub use c_program::{emit_c_program, emit_listing5, map_example_script};
+pub use c_program::{emit_c_program, emit_listing5, emit_listing5_runnable, map_example_script};
 pub use gen::{CodegenError, Generator};
+pub use harness::{
+    detect_toolchain, oracle_map_tiers, CompiledProgram, Harness, HarnessError, Scenario,
+    ScenarioKind, Toolchain, MAPREDUCE_REL_TOL,
+};
 pub use mapping::{CodeMapping, Target};
-pub use openmp::{emit_mapreduce_openmp, OpenMpProgram};
+pub use openmp::{
+    emit_map_openmp, emit_mapreduce_openmp, emit_mapreduce_openmp_protocol, OpenMpProgram,
+};
 pub use programs::{emit_js_program, emit_python_program, emit_smalltalk_chunk};
 pub use template::Template;
 

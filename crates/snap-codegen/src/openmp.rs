@@ -39,10 +39,27 @@ void main() {
 }
 "#;
 
+/// A compilable variant of Listing 3 (standard `int main`, stdio
+/// included) so the sequential hello is a runnable harness scenario.
+pub const SEQUENTIAL_HELLO_RUNNABLE: &str = r#"#include <stdio.h>
+int main(void) {
+    int ID = 0;
+    printf(" hello(%d), ", ID);
+    printf(" world(%d) \n", ID);
+    return 0;
+}
+"#;
+
 /// A compilable variant of Listing 4 (standard `int main`, stdio
-/// included) used by the build pipeline's smoke test.
-pub const OPENMP_HELLO_RUNNABLE: &str = r#"#include <omp.h>
-#include <stdio.h>
+/// included) used by the build pipeline's smoke test and the harness.
+/// Portable: without `-fopenmp` there is no `omp.h` and no `_OPENMP`,
+/// so a static single-thread stand-in keeps the program runnable.
+pub const OPENMP_HELLO_RUNNABLE: &str = r#"#include <stdio.h>
+#ifdef _OPENMP
+#include <omp.h>
+#else
+static int omp_get_thread_num(void) { return 0; }
+#endif
 int main(void) {
     #pragma omp parallel
     {
@@ -260,11 +277,16 @@ fn emit_mapred_c(spec: &MapReduceSpec) -> String {
 
     out.push_str("int map (const KVP *in, KVP *out) {\n");
     match &spec.key {
+        // memcpy the whole fixed-size key buffer: `in->key` is always a
+        // NUL-terminated char[MAXKEY], and a bounded strncpy here trips
+        // GCC's -Wstringop-truncation under -Wall -Werror.
         KeySource::FromInput => {
-            out.push_str("    strncpy (out->key, in->key, MAXKEY);\n");
+            out.push_str("    memcpy (out->key, in->key, MAXKEY);\n");
         }
         KeySource::Constant(k) => {
-            out.push_str(&format!("    strncpy (out->key, {k:?}, MAXKEY);\n"));
+            out.push_str(&format!(
+                "    strncpy (out->key, {k:?}, MAXKEY - 1);\n    out->key[MAXKEY - 1] = '\\0';\n"
+            ));
         }
     }
     out.push_str(&format!(
@@ -273,7 +295,7 @@ fn emit_mapred_c(spec: &MapReduceSpec) -> String {
     ));
 
     out.push_str("int reduce (const KVP *in, size_t count, KVP *out) {\n");
-    out.push_str("    strncpy (out->key, in->key, MAXKEY);\n");
+    out.push_str("    memcpy (out->key, in->key, MAXKEY);\n");
     match spec.reducer {
         ReducerKind::Average => out.push_str("    out->val = avg(in, count);\n"),
         ReducerKind::Sum => out.push_str("    out->val = sum(in, count);\n"),
@@ -291,7 +313,9 @@ fn emit_driver_c(dataset: &[(String, f64)]) -> String {
 
     format!(
         r#"/* OpenMP driver for Parallel Snap! MapReduce code output. */
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 #include <stdlib.h>
 #include <string.h>
 #include <stdio.h>
@@ -371,6 +395,219 @@ int main(int argc, char *argv[]) {{
 }}
 "#
     )
+}
+
+/// Emit a MapReduce program whose driver reads the dataset from stdin
+/// as `key,value` CSV lines (split on the *last* comma, so keys with
+/// commas survive) and prints `key value` result lines — the harness
+/// protocol. Because the dataset is no longer embedded in the source,
+/// the compile cache reuses one binary across dataset changes.
+pub fn emit_mapreduce_openmp_protocol(
+    mapper: &Ring,
+    reducer: &Ring,
+) -> Result<OpenMpProgram, CodegenError> {
+    let spec = recognize(mapper, reducer)?;
+    Ok(OpenMpProgram {
+        kvp_h: KVP_H.to_owned(),
+        mapred_c: emit_mapred_c(&spec),
+        driver_c: PROTOCOL_DRIVER_C.to_owned(),
+    })
+}
+
+/// The stdin-protocol Listing 7 driver (see
+/// [`emit_mapreduce_openmp_protocol`]).
+pub const PROTOCOL_DRIVER_C: &str = r#"/* OpenMP driver for Parallel Snap! MapReduce code output.
+   Protocol variant: the dataset arrives on stdin as `key,value` lines
+   (split on the last comma); results leave as `key value` lines. */
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+#include "kvp.h"
+
+int input(int *nkvp, KVP **list) {
+    size_t cap = 1024;
+    size_t n = 0;
+    char line[512];
+    KVP *kvps = malloc(cap * sizeof(KVP));
+    if (kvps == NULL) return 1;
+    while (fgets(line, sizeof line, stdin) != NULL) {
+        char *nl = strchr(line, '\n');
+        char *comma;
+        size_t klen;
+        if (nl != NULL) *nl = '\0';
+        if (line[0] == '\0') continue;
+        comma = strrchr(line, ',');
+        if (comma == NULL) { free(kvps); return 1; }
+        *comma = '\0';
+        if (n == cap) {
+            KVP *grown;
+            cap *= 2;
+            grown = realloc(kvps, cap * sizeof(KVP));
+            if (grown == NULL) { free(kvps); return 1; }
+            kvps = grown;
+        }
+        klen = strlen(line);
+        if (klen > MAXKEY - 1) klen = MAXKEY - 1;
+        memcpy(kvps[n].key, line, klen);
+        kvps[n].key[klen] = '\0';
+        kvps[n].val = (float) strtod(comma + 1, NULL);
+        n++;
+    }
+    *nkvp = (int) n;
+    *list = kvps;
+    return 0;
+}
+
+int output(int nkvp, KVP *list) {
+    int i;
+    for (i = 0; i < nkvp; i++) {
+        printf("%s %.17g\n", list[i].key, (double) list[i].val);
+    }
+    return 0;
+}
+
+int compare(const void *a, const void *b) {
+    return strncmp(((const KVP *) a)->key, ((const KVP *) b)->key, MAXKEY);
+}
+
+int main(int argc, char *argv[]) {
+    int nkvp;
+    KVP *inputlist, *midlist, *outputlist;
+    int ngroups;
+    int *starts;
+    int i;
+    int g;
+
+    (void) argc;
+    (void) argv;
+    if (input(&nkvp, &inputlist) != 0) {
+        return 1;
+    }
+    midlist = malloc((size_t) (nkvp > 0 ? nkvp : 1) * sizeof(KVP));
+    if (midlist == NULL) return 1;
+
+    /* Run mapper */
+    #pragma omp parallel for shared(nkvp, inputlist, midlist)
+    for (i = 0; i < nkvp; i++) {
+        map(&inputlist[i], &midlist[i]);
+    }
+
+    /* Sort on keys */
+    qsort(midlist, (size_t) nkvp, sizeof(KVP), compare);
+    outputlist = malloc((size_t) (nkvp > 0 ? nkvp : 1) * sizeof(KVP));
+    if (outputlist == NULL) return 1;
+
+    /* Find key-group boundaries */
+    ngroups = 0;
+    starts = malloc(((size_t) nkvp + 1) * sizeof(int));
+    if (starts == NULL) return 1;
+    for (i = 0; i < nkvp; i++) {
+        if (i == 0 || strncmp(midlist[i].key, midlist[i - 1].key, MAXKEY) != 0) {
+            starts[ngroups++] = i;
+        }
+    }
+    starts[ngroups] = nkvp;
+
+    /* Run reducer */
+    #pragma omp parallel for shared(ngroups, starts, midlist, outputlist)
+    for (g = 0; g < ngroups; g++) {
+        reduce(&midlist[starts[g]],
+               (size_t)(starts[g + 1] - starts[g]),
+               &outputlist[g]);
+    }
+
+    if (output(ngroups, outputlist) != 0) {
+        exit(1);
+    }
+
+    free(starts);
+    free(inputlist);
+    free(midlist);
+    free(outputlist);
+
+    return 0;
+}
+"#;
+
+/// Emit a complete double-precision OpenMP *map* program for a numeric
+/// ring: `main` reads one double per line on stdin, applies the
+/// translated ring body to every element inside an
+/// `#pragma omp parallel for`, and prints one `%.17g` result per line
+/// in input order.
+///
+/// Emission runs with [`Generator::float_literals`] on and the `mod`
+/// template overridden to the floor-based form, so the generated C
+/// performs exactly the IEEE-754 double operation sequence of
+/// [`snap_ast::bytecode::num_binop`]/[`num_unop`] — together with the
+/// harness's `-ffp-contract=off` this makes native map output
+/// bit-for-bit comparable to the interpreted tiers.
+///
+/// [`num_unop`]: snap_ast::bytecode::num_unop
+/// [`Generator::float_literals`]: crate::gen::Generator::float_literals
+pub fn emit_map_openmp(ring: &Ring) -> Result<String, CodegenError> {
+    let body = reporter_body(ring, "mapper")?;
+    let mut mapping = CodeMapping::preset(Target::C);
+    // Snap!'s `mod` is the floored form (`x − y·⌊x/y⌋`), not C's
+    // truncating `%` — and `%` does not even compile for doubles.
+    mapping.set("mod", "(<#1> - (<#2> * floor(<#1> / <#2>)))");
+    let mut gen = Generator::new(&mapping);
+    gen.float_literals = true;
+    gen.slot_name = Some("__x".to_owned());
+    if let Some(p) = ring.params.first() {
+        gen.subst.insert(p.clone(), "__x".to_owned());
+    }
+    let expr = gen.expr(body)?;
+    Ok(format!(
+        r#"/* Generated OpenMP map program (stdin/stdout line protocol). */
+#include <math.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+static double map_fn(double __x) {{
+    return {expr};
+}}
+
+int main(void) {{
+    size_t cap = 1024;
+    size_t n = 0;
+    long i;
+    long count;
+    char line[256];
+    double *in = malloc(cap * sizeof(double));
+    double *out;
+    if (in == NULL) return 1;
+    while (fgets(line, sizeof line, stdin) != NULL) {{
+        if (line[0] == '\n' || line[0] == '\0') continue;
+        if (n == cap) {{
+            double *grown;
+            cap *= 2;
+            grown = realloc(in, cap * sizeof(double));
+            if (grown == NULL) {{ free(in); return 1; }}
+            in = grown;
+        }}
+        in[n++] = strtod(line, NULL);
+    }}
+    out = malloc((n > 0 ? n : 1) * sizeof(double));
+    if (out == NULL) return 1;
+    count = (long) n;
+
+    #pragma omp parallel for
+    for (i = 0; i < count; i++) {{
+        out[i] = map_fn(in[i]);
+    }}
+
+    for (i = 0; i < count; i++) {{
+        printf("%.17g\n", out[i]);
+    }}
+    free(in);
+    free(out);
+    return 0;
+}}
+"#
+    ))
 }
 
 /// The climate mapper of Fig. 19 — `[("avg", (5 × (t − 32)) / 9)]`.
@@ -459,7 +696,7 @@ mod tests {
             "#include <string.h>",
             "#include \"kvp.h\"",
             "float avg(",
-            "strncpy (out->key, \"avg\", MAXKEY);",
+            "strncpy (out->key, \"avg\", MAXKEY - 1);",
             "out->val = ((5 * (in->val - 32)) / 9);",
             "out->val = avg(in, count);",
         ] {

@@ -480,6 +480,19 @@ pub mod well_known {
     /// nanoseconds — feeds the windowed p50/p95/p99 on `/metrics`.
     pub static STREAM_LATENCY_NS: Histogram = Histogram::new("stream.latency_ns");
 
+    /// Emitted C/OpenMP programs compiled by the codegen harness.
+    pub static CODEGEN_COMPILES: Counter = Counter::new("codegen.compiles");
+    /// Compiled codegen binaries executed to completion.
+    pub static CODEGEN_RUNS: Counter = Counter::new("codegen.runs");
+    /// Data elements processed by the native (compiled C) tier.
+    pub static CODEGEN_NATIVE_ELEMS: Counter = Counter::new("codegen.native_elems");
+    /// Codegen runs skipped because no C toolchain was detected.
+    pub static CODEGEN_TOOLCHAIN_MISSING: Counter = Counter::new("codegen.toolchain_missing");
+    /// Codegen compile-cache hits (binary reused, keyed on source hash).
+    pub static CODEGEN_CACHE_HITS: Counter = Counter::new("codegen.cache_hits");
+    /// Codegen compile-cache misses (fresh compile required).
+    pub static CODEGEN_CACHE_MISSES: Counter = Counter::new("codegen.cache_misses");
+
     /// VM frames executed (`step_frame` calls, stolen or not).
     pub static VM_FRAMES: Counter = Counter::new("vm.frames");
     /// VM frames consumed by the interference model.
@@ -493,7 +506,7 @@ pub mod well_known {
 }
 
 /// Every well-known counter, for enumeration by reports.
-pub fn known_counters() -> [&'static Counter; 56] {
+pub fn known_counters() -> [&'static Counter; 62] {
     use well_known::*;
     [
         &POOL_JOBS_SUBMITTED,
@@ -547,6 +560,12 @@ pub fn known_counters() -> [&'static Counter; 56] {
         &STREAM_BLOCKS_SALVAGED,
         &STREAM_ITEMS_DROPPED,
         &STREAM_BACKPRESSURE_WAITS,
+        &CODEGEN_COMPILES,
+        &CODEGEN_RUNS,
+        &CODEGEN_NATIVE_ELEMS,
+        &CODEGEN_TOOLCHAIN_MISSING,
+        &CODEGEN_CACHE_HITS,
+        &CODEGEN_CACHE_MISSES,
         &VM_PROCESSES_SPAWNED,
         &TRACE_SPANS_DROPPED,
         &TRACE_OVERHEAD_NS,

@@ -6,21 +6,33 @@
 //! reduce functions, OpenMP driver) — generated, compiled with the
 //! system C compiler, run, and checked against the in-VM result.
 //!
+//! With `--trace <path>` the run also records spans, prints the
+//! execution-report table (including the `codegen.*` counters bumped by
+//! the native harness), and writes the Chrome trace + report JSON.
+//!
 //! ```sh
 //! cargo run --example codegen_openmp
+//! cargo run --example codegen_openmp -- --trace /tmp/codegen.trace.json
 //! ```
+
+#[path = "util/cli.rs"]
+mod cli;
 
 use std::sync::Arc;
 
 use snap_core::build::BuildPipeline;
 use snap_core::codegen::emit_listing5;
+use snap_core::codegen::harness::{oracle_map_tiers, Harness};
 use snap_core::codegen::openmp::{
-    averaging_reducer, climate_mapper, emit_mapreduce_openmp, LISTING4_OPENMP_HELLO,
+    averaging_reducer, climate_mapper, emit_map_openmp, emit_mapreduce_openmp,
+    LISTING4_OPENMP_HELLO,
 };
 use snap_core::data::{f_to_c, generate_noaa, NoaaConfig};
 use snap_core::prelude::*;
+use snap_core::trace::metrics::well_known as wk;
 
 fn main() {
+    let opts = cli::TraceOpts::from_args();
     // --- Listing 5: the map example as C ----------------------------
     println!("=== Listing 5: map example, blocks -> C ===");
     println!("{}", emit_listing5());
@@ -51,6 +63,11 @@ fn main() {
     let pipeline = BuildPipeline::new(&dir).expect("build dir");
     if !pipeline.has_compiler() {
         println!("(no C compiler found: skipping the compile-and-run step)");
+        println!(
+            "codegen.toolchain_missing = {}",
+            wk::CODEGEN_TOOLCHAIN_MISSING.get()
+        );
+        opts.finish();
         return;
     }
 
@@ -88,4 +105,59 @@ fn main() {
         "generated code and blocks must agree (float accumulation differs slightly)"
     );
     println!("generated OpenMP program agrees with the block semantics");
+
+    // --- The native tier through the equivalence harness -------------
+    // Same climate mapper, but per-element over the stdin protocol:
+    // compile (content-addressed cache), run, compare bit-for-bit
+    // against the tree-walk / bytecode / batch tiers.
+    println!("=== native tier: harness compile + run + tier equivalence ===");
+    match Harness::detect() {
+        Ok(harness) => {
+            let ring = Arc::new(Ring::reporter_with_params(
+                vec!["t".into()],
+                div(mul(num(5.0), sub(var("t"), num(32.0))), num(9.0)),
+            ));
+            let source = emit_map_openmp(&ring).expect("climate ring translates");
+            let temps: Vec<f64> = dataset.readings.iter().map(|r| r.temp_f).collect();
+            let native = harness
+                .run_map("example_climate_map", &source, &temps)
+                .expect("native climate map compiles and runs");
+            let tiers = oracle_map_tiers(&ring, &temps).expect("oracle tiers evaluate");
+            assert_eq!(native.len(), tiers.treewalk.len());
+            let exact = native
+                .iter()
+                .zip(&tiers.treewalk)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            println!(
+                "toolchain           : {} ({}), OpenMP {}",
+                harness.toolchain().cc,
+                harness.toolchain().version,
+                if harness.toolchain().openmp {
+                    "yes"
+                } else {
+                    "no"
+                }
+            );
+            println!(
+                "native vs tree-walk : {} elements, bit-for-bit {}",
+                native.len(),
+                if exact { "EQUAL" } else { "DIFFERENT" }
+            );
+            assert!(exact, "native tier must match the tree-walk oracle exactly");
+            println!("codegen.compiles    = {}", wk::CODEGEN_COMPILES.get());
+            println!("codegen.runs        = {}", wk::CODEGEN_RUNS.get());
+            println!("codegen.native_elems = {}", wk::CODEGEN_NATIVE_ELEMS.get());
+            println!("codegen.cache_hits  = {}", wk::CODEGEN_CACHE_HITS.get());
+            println!("codegen.cache_misses = {}", wk::CODEGEN_CACHE_MISSES.get());
+        }
+        Err(e) => {
+            println!("(native tier skipped: {e})");
+            println!(
+                "codegen.toolchain_missing = {}",
+                wk::CODEGEN_TOOLCHAIN_MISSING.get()
+            );
+        }
+    }
+
+    opts.finish();
 }

@@ -94,6 +94,26 @@ echo "==> telemetry overhead gate (continuous tier must cost <3%)"
 cargo run --release -p bench --bin trace_check -- \
   --overhead-gate target/ci/BENCH_BASELINE.json
 
+echo "==> codegen: compile-only smoke over every emitted template"
+cargo test --release -p snap-codegen --test compile_smoke -- --nocapture
+
+echo "==> codegen: differential proptest, random rings native vs oracle tiers"
+cargo test --release -p snap-codegen --test codegen_diff -- --nocapture
+
+echo "==> codegen_check: compile + run + tier equivalence on every scenario"
+mkdir -p target/ci/codegen
+cargo run --release -p bench --bin codegen_check -- \
+  --require-toolchain \
+  --out target/ci/codegen \
+  --trace target/ci/codegen/codegen_check.trace.json
+
+echo "==> validate codegen trace + assert native runs happened"
+cargo run --release -p bench --bin trace_check -- \
+  target/ci/codegen/codegen_check.trace.json \
+  target/ci/codegen/codegen_check.trace.json.report.json \
+  --require-counter codegen.runs \
+  --require-counter codegen.native_elems
+
 echo "==> chaos: fault-injection stress under a fixed seed"
 mkdir -p target/ci/chaos
 SNAP_FAULT_SEED="${SNAP_FAULT_SEED:-20240806}" RUST_BACKTRACE=1 \
