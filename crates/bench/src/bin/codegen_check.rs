@@ -2,7 +2,7 @@
 //! emitted C/OpenMP scenario (the PR 9 CI gate for the native tier).
 //!
 //! ```text
-//! codegen_check [--require-toolchain] [--out <dir>] [--trace <path>]
+//! codegen_check [--require-toolchain] [--persistent] [--out <dir>] [--trace <path>]
 //! ```
 //!
 //! For every scenario in [`snap_codegen::harness::scenarios`] —
@@ -18,6 +18,15 @@
 //!    columnar `ring_map` pipeline) and native ≡ VM `mapReduce` within
 //!    the documented reduction tolerance.
 //!
+//! `--persistent` swaps step 3 for the **warm-worker** path: each map
+//! scenario's binary is spawned once in `--serve` mode and streamed
+//! multiple successive binary frames through the process-wide
+//! `NativePool` (MapReduce scenarios stream whole jobs the same way),
+//! and the big pooled comparison runs `ring_map` under
+//! `NativePolicy::Auto` so the chunk router itself is on the hook. The
+//! equivalence assertions are unchanged — the persistent tier earns no
+//! extra tolerance.
+//!
 //! Exit codes: `0` all green (or toolchain missing without
 //! `--require-toolchain` — an auto-skip with a visible
 //! `codegen.toolchain_missing` note so tier-1 stays green on bare
@@ -32,16 +41,21 @@ use std::sync::Arc;
 use snap_ast::{Ring, Value};
 use snap_codegen::harness::{self, compare_pairs, compare_values, Harness, Scenario, ScenarioKind};
 use snap_codegen::openmp::{emit_map_openmp, emit_mapreduce_openmp_protocol};
+use snap_codegen::worker::{native_pool, register_native_map, NativeProgram, WorkerKind};
 use snap_data::corpus::generate_words;
 use snap_data::noaa::{generate as generate_noaa, NoaaConfig};
-use snap_workers::ring_fn::{ring_map, ColumnarPolicy, RingMapOptions};
+use snap_workers::ring_fn::{
+    ring_map, ColumnarPolicy, NativePolicy, RingMapOptions, NATIVE_MIN_ITEMS,
+};
 
 fn usage() -> String {
-    "usage: codegen_check [--require-toolchain] [--out <dir>] [--trace <path>]".to_owned()
+    "usage: codegen_check [--require-toolchain] [--persistent] [--out <dir>] [--trace <path>]"
+        .to_owned()
 }
 
 struct Opts {
     require_toolchain: bool,
+    persistent: bool,
     out: PathBuf,
     trace: Option<String>,
 }
@@ -49,6 +63,7 @@ struct Opts {
 fn parse_args() -> Result<Opts, String> {
     let mut opts = Opts {
         require_toolchain: false,
+        persistent: false,
         out: PathBuf::from("target/ci/codegen"),
         trace: None,
     };
@@ -57,6 +72,7 @@ fn parse_args() -> Result<Opts, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--require-toolchain" => opts.require_toolchain = true,
+            "--persistent" => opts.persistent = true,
             "--out" => {
                 i += 1;
                 opts.out = PathBuf::from(args.get(i).ok_or_else(usage)?);
@@ -142,16 +158,53 @@ fn pooled_map(
     ring: &Arc<Ring>,
     inputs: &[f64],
     columnar: ColumnarPolicy,
+    native: NativePolicy,
 ) -> Result<Vec<f64>, String> {
     let items: Vec<Value> = inputs.iter().map(|&x| Value::Number(x)).collect();
     let options = RingMapOptions {
         workers: 4,
         columnar,
+        native,
         ..RingMapOptions::default()
     };
     let out = ring_map(Arc::clone(ring), items, options)
         .map_err(|e| format!("pooled ring_map failed: {e:?}"))?;
     Ok(out.iter().map(Value::to_number).collect())
+}
+
+/// The persistent path for a map scenario: one warm worker, the input
+/// set streamed as three successive frames (so protocol resync is
+/// exercised, not just a single exchange), results re-concatenated.
+fn persistent_map(program: &NativeProgram, inputs: &[f64]) -> Result<Vec<f64>, String> {
+    let third = inputs.len().div_ceil(3).max(1);
+    let mut out = Vec::with_capacity(inputs.len());
+    for frame in inputs.chunks(third) {
+        out.extend(
+            native_pool()
+                .map_frame(program, frame)
+                .map_err(|e| format!("persistent map frame failed: {e}"))?,
+        );
+    }
+    Ok(out)
+}
+
+/// `ring_map` under `NativePolicy::Auto` on an input list big enough
+/// that the chunk router must actually frame out to the warm worker
+/// (`inputs` tiled past `NATIVE_MIN_ITEMS`), compared against the same
+/// list with the native tier disabled.
+fn persistent_pooled_equivalence(ring: &Arc<Ring>, inputs: &[f64]) -> Result<usize, String> {
+    let mut tiled = Vec::with_capacity(2 * NATIVE_MIN_ITEMS + inputs.len());
+    while tiled.len() < 2 * NATIVE_MIN_ITEMS {
+        tiled.extend_from_slice(inputs);
+    }
+    let through_worker = pooled_map(ring, &tiled, ColumnarPolicy::Auto, NativePolicy::Auto)?;
+    let in_process = pooled_map(ring, &tiled, ColumnarPolicy::Auto, NativePolicy::Disabled)?;
+    compare_values(
+        "pooled native-auto vs native-disabled",
+        &through_worker,
+        &in_process,
+    )?;
+    Ok(tiled.len())
 }
 
 /// VM-side MapReduce via the paper's parallel block, normalized to
@@ -194,7 +247,12 @@ fn vm_mapreduce(
     Ok(out)
 }
 
-fn run_scenario(h: &Harness, scenario: &Scenario, out: &Path) -> Result<String, String> {
+fn run_scenario(
+    h: &Harness,
+    scenario: &Scenario,
+    out: &Path,
+    persistent: bool,
+) -> Result<String, String> {
     let name = scenario.name;
     match &scenario.kind {
         ScenarioKind::Run { source, openmp } => {
@@ -209,9 +267,13 @@ fn run_scenario(h: &Harness, scenario: &Scenario, out: &Path) -> Result<String, 
             let source = emit_map_openmp(ring).map_err(|e| e.to_string())?;
             write_sources(out, name, &[("map_program.c", &source)]);
             let inputs = map_inputs();
-            let native = h
-                .run_map(name, &source, &inputs)
-                .map_err(|e| e.to_string())?;
+            let native = if persistent {
+                let program = register_native_map(ring).map_err(|e| e.to_string())?;
+                persistent_map(&program, &inputs)?
+            } else {
+                h.run_map(name, &source, &inputs)
+                    .map_err(|e| e.to_string())?
+            };
             let tiers = harness::oracle_map_tiers(ring, &inputs).map_err(|e| e.to_string())?;
             compare_values("native vs tree-walk", &native, &tiers.treewalk)?;
             compare_values("native vs bytecode", &native, &tiers.bytecode)?;
@@ -219,10 +281,23 @@ fn run_scenario(h: &Harness, scenario: &Scenario, out: &Path) -> Result<String, 
                 .batch
                 .ok_or_else(|| "map ring unexpectedly not batchable".to_owned())?;
             compare_values("native vs batch", &native, &batch)?;
-            let columnar = pooled_map(ring, &inputs, ColumnarPolicy::Auto)?;
+            let columnar = pooled_map(ring, &inputs, ColumnarPolicy::Auto, NativePolicy::Disabled)?;
             compare_values("native vs pooled columnar", &native, &columnar)?;
-            let scalar_pool = pooled_map(ring, &inputs, ColumnarPolicy::Disabled)?;
+            let scalar_pool = pooled_map(
+                ring,
+                &inputs,
+                ColumnarPolicy::Disabled,
+                NativePolicy::Disabled,
+            )?;
             compare_values("native vs pooled scalar", &native, &scalar_pool)?;
+            if persistent {
+                let tiled = persistent_pooled_equivalence(ring, &inputs)?;
+                return Ok(format!(
+                    "{} elements over 3 frames bit-for-bit across 4 tiers \
+                     (+{tiled}-element chunk-routed ring_map)",
+                    inputs.len()
+                ));
+            }
             Ok(format!(
                 "{} elements bit-for-bit across 4 tiers (+2 pooled pipelines)",
                 inputs.len()
@@ -245,9 +320,37 @@ fn run_scenario(h: &Harness, scenario: &Scenario, out: &Path) -> Result<String, 
                 ],
             );
             let pairs = mapreduce_pairs(name);
-            let native = h
-                .run_mapreduce(name, &program, &pairs)
-                .map_err(|e| e.to_string())?;
+            let native = if persistent {
+                let compiled = h
+                    .compile(
+                        name,
+                        &[
+                            ("kvp.h", &program.kvp_h),
+                            ("mapred.c", &program.mapred_c),
+                            ("driver.c", &program.driver_c),
+                        ],
+                        true,
+                    )
+                    .map_err(|e| e.to_string())?;
+                let worker_program = NativeProgram {
+                    name: name.to_owned(),
+                    binary: compiled.binary,
+                    kind: WorkerKind::MapReduce,
+                };
+                // Two identical jobs through one warm worker: the second
+                // frame proves no state survives between jobs.
+                let first = native_pool()
+                    .mapreduce_frame(&worker_program, &pairs)
+                    .map_err(|e| format!("persistent mapreduce frame failed: {e}"))?;
+                let second = native_pool()
+                    .mapreduce_frame(&worker_program, &pairs)
+                    .map_err(|e| format!("persistent mapreduce reframe failed: {e}"))?;
+                compare_pairs("frame 2 vs frame 1", &second, &first, 0.0)?;
+                first
+            } else {
+                h.run_mapreduce(name, &program, &pairs)
+                    .map_err(|e| e.to_string())?
+            };
             let reference =
                 harness::reference_mapreduce(mapper, reducer, &pairs).map_err(|e| e.to_string())?;
             compare_pairs("native vs reference", &native, &reference, *rel_tol)?;
@@ -316,9 +419,13 @@ fn main() -> ExitCode {
         }
     );
 
+    if opts.persistent {
+        println!("mode: persistent (warm --serve workers, binary frames)");
+    }
+
     let mut failures = 0u32;
     for scenario in harness::scenarios() {
-        match run_scenario(&harness, &scenario, &opts.out) {
+        match run_scenario(&harness, &scenario, &opts.out, opts.persistent) {
             Ok(detail) => println!("PASS {:<24} {detail}", scenario.name),
             Err(detail) => {
                 failures += 1;
@@ -339,6 +446,16 @@ fn main() -> ExitCode {
         "codegen.cache_hits = {}, codegen.cache_misses = {}",
         wk::CODEGEN_CACHE_HITS.get(),
         wk::CODEGEN_CACHE_MISSES.get()
+    );
+    println!(
+        "codegen.worker_spawns = {}, codegen.worker_frames = {}, \
+         codegen.worker_restarts = {}, codegen.worker_fallbacks = {}, \
+         codegen.worker_reaped = {}",
+        wk::CODEGEN_WORKER_SPAWNS.get(),
+        wk::CODEGEN_WORKER_FRAMES.get(),
+        wk::CODEGEN_WORKER_RESTARTS.get(),
+        wk::CODEGEN_WORKER_FALLBACKS.get(),
+        wk::CODEGEN_WORKER_REAPED.get()
     );
     finish_trace(&opts.trace);
 

@@ -23,7 +23,7 @@
 //! workers entries). With `--baseline`, the fresh run is additionally
 //! compared against the committed baseline: the gated benches (see
 //! [`GATED_BENCHES`]; from `a1_job_churn/1` through
-//! `a9_native_vs_batch/batch_tier`) fail the check when more than 25% slower than
+//! `a10_native_amortized/persistent_deep_120000`) fail the check when more than 25% slower than
 //! baseline, and the full comparison table is appended to
 //! `$GITHUB_STEP_SUMMARY` when that variable is set. Exits non-zero if
 //! a file is missing, fails to parse, lacks its required structure,
@@ -118,6 +118,11 @@ const REQUIRED_REPORT_COUNTERS: &[&str] = &[
     "codegen.toolchain_missing",
     "codegen.cache_hits",
     "codegen.cache_misses",
+    "codegen.worker_spawns",
+    "codegen.worker_frames",
+    "codegen.worker_restarts",
+    "codegen.worker_fallbacks",
+    "codegen.worker_reaped",
 ];
 
 fn check_report(path: &str, require_positive: &[String]) -> Result<(), String> {
@@ -204,6 +209,7 @@ const GATED_BENCHES: &[&str] = &[
     "a8_stream_throughput/streaming",
     "a8_stream_latency/numeric_2stage",
     "a9_native_vs_batch/batch_tier",
+    "a10_native_amortized/persistent_deep_120000",
 ];
 
 /// Regression tolerance for gated benches: fail when `current` is more

@@ -68,6 +68,11 @@ fn full_report_json() -> String {
         "codegen.toolchain_missing",
         "codegen.cache_hits",
         "codegen.cache_misses",
+        "codegen.worker_spawns",
+        "codegen.worker_frames",
+        "codegen.worker_restarts",
+        "codegen.worker_fallbacks",
+        "codegen.worker_reaped",
     ];
     let body: Vec<String> = counters.iter().map(|c| format!("\"{c}\": 1")).collect();
     format!(

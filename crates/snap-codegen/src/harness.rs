@@ -95,6 +95,10 @@ pub struct Toolchain {
     /// the harness still compiles every program — the pragmas are
     /// ignored and the binary runs single-threaded.
     pub openmp: bool,
+    /// Whether the compiler accepts `-march=native`. Probed because
+    /// clang on some targets (notably aarch64) rejects the spelling;
+    /// when false the harness compiles for the baseline ISA.
+    pub native_arch: bool,
 }
 
 /// Probe for a C compiler once per process; the result is cached.
@@ -137,10 +141,12 @@ fn probe_toolchain() -> Option<Toolchain> {
             .unwrap_or("")
             .to_owned();
         let openmp = probe_openmp(cand);
+        let native_arch = probe_native_arch(cand);
         return Some(Toolchain {
             cc: cand.to_owned(),
             version,
             openmp,
+            native_arch,
         });
     }
     None
@@ -158,6 +164,29 @@ fn probe_openmp(cc: &str) -> bool {
     let ok = fs::write(&src, program).is_ok()
         && Command::new(cc)
             .args(["-fopenmp", "-O1"])
+            .arg(&src)
+            .arg("-o")
+            .arg(&bin)
+            .stdin(Stdio::null())
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false);
+    let _ = fs::remove_dir_all(&dir);
+    ok
+}
+
+/// Compile a trivial program with `-march=native` to see whether the
+/// compiler accepts the flag on this target.
+fn probe_native_arch(cc: &str) -> bool {
+    let dir = std::env::temp_dir().join(format!("snap-march-probe-{}", std::process::id()));
+    if fs::create_dir_all(&dir).is_err() {
+        return false;
+    }
+    let src = dir.join("probe.c");
+    let bin = dir.join("probe");
+    let ok = fs::write(&src, "int main(void) { return 0; }\n").is_ok()
+        && Command::new(cc)
+            .args(["-march=native", "-O1"])
             .arg(&src)
             .arg("-o")
             .arg(&bin)
@@ -281,10 +310,15 @@ impl Harness {
     /// The flags a compile will use (also part of the cache key).
     fn flags(&self, openmp: bool) -> Vec<&'static str> {
         // -ffp-contract=off: keep double arithmetic bit-identical to the
-        // interpreter (no FMA fusion); -std=c99 pins the dialect every
-        // emitted program targets; -Wall -Werror is the PR 9 bar that
-        // every emitted program must clear.
-        let mut flags = vec!["-O2", "-std=c99", "-Wall", "-Werror", "-ffp-contract=off"];
+        // interpreter (no FMA fusion, even at -O3 / -march=native — IEEE
+        // ops are exactly rounded at any vector width, so vectorizing
+        // the lane loop is still bit-exact); -std=c99 pins the dialect
+        // every emitted program targets; -Wall -Werror is the PR 9 bar
+        // that every emitted program must clear.
+        let mut flags = vec!["-O3", "-std=c99", "-Wall", "-Werror", "-ffp-contract=off"];
+        if self.toolchain.native_arch {
+            flags.push("-march=native");
+        }
         if openmp && self.toolchain.openmp {
             flags.push("-fopenmp");
         } else {

@@ -18,6 +18,7 @@ pub mod openmp;
 pub mod programs;
 pub mod template;
 pub mod types;
+pub mod worker;
 
 pub use c_program::{emit_c_program, emit_listing5, emit_listing5_runnable, map_example_script};
 pub use gen::{CodegenError, Generator};
@@ -31,6 +32,11 @@ pub use openmp::{
 };
 pub use programs::{emit_js_program, emit_python_program, emit_smalltalk_chunk};
 pub use template::Template;
+pub use worker::{
+    native_pool, native_program_for, register_native_map, register_native_program,
+    unregister_native, NativePool, NativeProgram, NativeWorker, WorkerKind, NATIVE_IDLE_REAP,
+    POISON_FRAME,
+};
 
 use snap_ast::Stmt;
 

@@ -418,10 +418,16 @@ pub fn emit_mapreduce_openmp_protocol(
 /// [`emit_mapreduce_openmp_protocol`]).
 pub const PROTOCOL_DRIVER_C: &str = r#"/* OpenMP driver for Parallel Snap! MapReduce code output.
    Protocol variant: the dataset arrives on stdin as `key,value` lines
-   (split on the last comma); results leave as `key value` lines. */
+   (split on the last comma); results leave as `key value` lines.
+   `--serve` switches to the persistent binary frame loop: each request
+   is [u64 npairs] then npairs of [u32 klen][klen key bytes][f64 val]
+   in native endianness; the response uses the same framing for the
+   reduced groups. One frame is one complete MapReduce job. A count of
+   UINT64_MAX is the poison frame: the worker exits abruptly. */
 #ifdef _OPENMP
 #include <omp.h>
 #endif
+#include <stdint.h>
 #include <stdlib.h>
 #include <string.h>
 #include <stdio.h>
@@ -473,19 +479,16 @@ int compare(const void *a, const void *b) {
     return strncmp(((const KVP *) a)->key, ((const KVP *) b)->key, MAXKEY);
 }
 
-int main(int argc, char *argv[]) {
-    int nkvp;
-    KVP *inputlist, *midlist, *outputlist;
+/* One complete MapReduce job: map -> qsort on keys -> grouped reduce.
+   The caller owns inputlist; on success *outputp (malloc'd) holds
+   *ngroupsp reduced KVPs. */
+static int run_batch(KVP *inputlist, int nkvp, KVP **outputp, int *ngroupsp) {
+    KVP *midlist, *outputlist;
     int ngroups;
     int *starts;
     int i;
     int g;
 
-    (void) argc;
-    (void) argv;
-    if (input(&nkvp, &inputlist) != 0) {
-        return 1;
-    }
     midlist = malloc((size_t) (nkvp > 0 ? nkvp : 1) * sizeof(KVP));
     if (midlist == NULL) return 1;
 
@@ -498,12 +501,12 @@ int main(int argc, char *argv[]) {
     /* Sort on keys */
     qsort(midlist, (size_t) nkvp, sizeof(KVP), compare);
     outputlist = malloc((size_t) (nkvp > 0 ? nkvp : 1) * sizeof(KVP));
-    if (outputlist == NULL) return 1;
+    if (outputlist == NULL) { free(midlist); return 1; }
 
     /* Find key-group boundaries */
     ngroups = 0;
     starts = malloc(((size_t) nkvp + 1) * sizeof(int));
-    if (starts == NULL) return 1;
+    if (starts == NULL) { free(midlist); free(outputlist); return 1; }
     for (i = 0; i < nkvp; i++) {
         if (i == 0 || strncmp(midlist[i].key, midlist[i - 1].key, MAXKEY) != 0) {
             starts[ngroups++] = i;
@@ -519,13 +522,99 @@ int main(int argc, char *argv[]) {
                &outputlist[g]);
     }
 
+    free(starts);
+    free(midlist);
+    *outputp = outputlist;
+    *ngroupsp = ngroups;
+    return 0;
+}
+
+/* Read one [u32 klen][key bytes][f64 val] record; keys longer than
+   MAXKEY-1 are truncated (matching the line protocol's behaviour) but
+   the full klen bytes are always consumed. */
+static int read_kvp(KVP *kvp) {
+    uint32_t klen;
+    uint32_t keep;
+    uint32_t skip;
+    double val;
+    if (fread(&klen, sizeof klen, 1, stdin) != 1) return 1;
+    keep = klen < MAXKEY ? klen : (MAXKEY - 1);
+    if (keep > 0 && fread(kvp->key, 1, keep, stdin) != keep) return 1;
+    kvp->key[keep] = '\0';
+    skip = klen - keep;
+    while (skip > 0) {
+        char waste[256];
+        uint32_t take = skip < sizeof waste ? skip : (uint32_t) sizeof waste;
+        if (fread(waste, 1, take, stdin) != take) return 1;
+        skip -= take;
+    }
+    if (fread(&val, sizeof val, 1, stdin) != 1) return 1;
+    kvp->val = (float) val;
+    return 0;
+}
+
+static int serve_loop(void) {
+    static char sinbuf[1 << 16];
+    static char soutbuf[1 << 16];
+    uint64_t npairs;
+    setvbuf(stdin, sinbuf, _IOFBF, sizeof sinbuf);
+    setvbuf(stdout, soutbuf, _IOFBF, sizeof soutbuf);
+    printf("snap-native-worker 1 mapreduce\n");
+    if (fflush(stdout) != 0) return 2;
+    while (fread(&npairs, sizeof npairs, 1, stdin) == 1) {
+        KVP *inputlist;
+        KVP *outputlist;
+        int ngroups;
+        uint64_t i;
+        uint64_t out_n;
+        int g;
+        if (npairs == UINT64_MAX) exit(86); /* poison frame */
+        if (npairs > ((uint64_t) 1 << 32)) return 2;
+        inputlist = malloc((size_t) (npairs > 0 ? npairs : 1) * sizeof(KVP));
+        if (inputlist == NULL) return 3;
+        for (i = 0; i < npairs; i++) {
+            if (read_kvp(&inputlist[i]) != 0) { free(inputlist); return 4; }
+        }
+        if (run_batch(inputlist, (int) npairs, &outputlist, &ngroups) != 0) {
+            free(inputlist);
+            return 3;
+        }
+        out_n = (uint64_t) ngroups;
+        if (fwrite(&out_n, sizeof out_n, 1, stdout) != 1) return 5;
+        for (g = 0; g < ngroups; g++) {
+            uint32_t klen = (uint32_t) strlen(outputlist[g].key);
+            double val = (double) outputlist[g].val;
+            if (fwrite(&klen, sizeof klen, 1, stdout) != 1) return 5;
+            if (klen > 0 && fwrite(outputlist[g].key, 1, klen, stdout) != klen)
+                return 5;
+            if (fwrite(&val, sizeof val, 1, stdout) != 1) return 5;
+        }
+        if (fflush(stdout) != 0) return 5;
+        free(inputlist);
+        free(outputlist);
+    }
+    return 0;
+}
+
+int main(int argc, char *argv[]) {
+    int nkvp;
+    KVP *inputlist, *outputlist;
+    int ngroups;
+
+    if (argc > 1 && strcmp(argv[1], "--serve") == 0) {
+        return serve_loop();
+    }
+    if (input(&nkvp, &inputlist) != 0) {
+        return 1;
+    }
+    if (run_batch(inputlist, nkvp, &outputlist, &ngroups) != 0) {
+        return 1;
+    }
     if (output(ngroups, outputlist) != 0) {
         exit(1);
     }
 
-    free(starts);
     free(inputlist);
-    free(midlist);
     free(outputlist);
 
     return 0;
@@ -561,23 +650,77 @@ pub fn emit_map_openmp(ring: &Ring) -> Result<String, CodegenError> {
     }
     let expr = gen.expr(body)?;
     Ok(format!(
-        r#"/* Generated OpenMP map program (stdin/stdout line protocol). */
+        r#"/* Generated OpenMP map program (stdin/stdout line protocol).
+   `--serve` switches to the persistent binary frame loop: length-
+   prefixed [u64 n][n x f64] frames in native endianness, one response
+   frame per request, until EOF on stdin. A frame count of UINT64_MAX
+   is the poison frame: the worker exits abruptly (the deterministic
+   crash hook the harness uses to test its recovery ladder). */
 #include <math.h>
+#include <stdint.h>
 #include <stdio.h>
 #include <stdlib.h>
+#include <string.h>
 
 static double map_fn(double __x) {{
     return {expr};
 }}
 
-int main(void) {{
+static int serve_loop(void) {{
+    static char inbuf[1 << 16];
+    static char outbuf[1 << 16];
+    uint64_t n;
+    size_t cap = 0;
+    double *in = NULL;
+    double *out = NULL;
+    setvbuf(stdin, inbuf, _IOFBF, sizeof inbuf);
+    setvbuf(stdout, outbuf, _IOFBF, sizeof outbuf);
+    printf("snap-native-worker 1 map\n");
+    if (fflush(stdout) != 0) return 2;
+    while (fread(&n, sizeof n, 1, stdin) == 1) {{
+        long i;
+        long count;
+        if (n == UINT64_MAX) exit(86); /* poison frame: crash on request */
+        if (n > ((uint64_t) 1 << 40)) return 2;
+        if ((size_t) n > cap) {{
+            free(in);
+            free(out);
+            cap = (size_t) n;
+            in = malloc(cap * sizeof(double));
+            out = malloc(cap * sizeof(double));
+            if (in == NULL || out == NULL) return 3;
+        }}
+        if (n > 0 && fread(in, sizeof(double), (size_t) n, stdin) != (size_t) n)
+            return 4;
+        count = (long) n;
+
+        #pragma omp parallel for
+        for (i = 0; i < count; i++) {{
+            out[i] = map_fn(in[i]);
+        }}
+
+        if (fwrite(&n, sizeof n, 1, stdout) != 1) return 5;
+        if (n > 0 && fwrite(out, sizeof(double), (size_t) n, stdout) != (size_t) n)
+            return 5;
+        if (fflush(stdout) != 0) return 5;
+    }}
+    free(in);
+    free(out);
+    return 0;
+}}
+
+int main(int argc, char *argv[]) {{
     size_t cap = 1024;
     size_t n = 0;
     long i;
     long count;
     char line[256];
-    double *in = malloc(cap * sizeof(double));
+    double *in;
     double *out;
+    if (argc > 1 && strcmp(argv[1], "--serve") == 0) {{
+        return serve_loop();
+    }}
+    in = malloc(cap * sizeof(double));
     if (in == NULL) return 1;
     while (fgets(line, sizeof line, stdin) != NULL) {{
         if (line[0] == '\n' || line[0] == '\0') continue;

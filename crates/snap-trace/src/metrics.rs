@@ -492,6 +492,18 @@ pub mod well_known {
     pub static CODEGEN_CACHE_HITS: Counter = Counter::new("codegen.cache_hits");
     /// Codegen compile-cache misses (fresh compile required).
     pub static CODEGEN_CACHE_MISSES: Counter = Counter::new("codegen.cache_misses");
+    /// Persistent native workers spawned (`--serve` processes started).
+    pub static CODEGEN_WORKER_SPAWNS: Counter = Counter::new("codegen.worker_spawns");
+    /// Batch frames processed by persistent native workers.
+    pub static CODEGEN_WORKER_FRAMES: Counter = Counter::new("codegen.worker_frames");
+    /// Dead native workers respawned (exactly-once crash recovery).
+    pub static CODEGEN_WORKER_RESTARTS: Counter = Counter::new("codegen.worker_restarts");
+    /// Native frames abandoned to the in-process batch tier after a
+    /// respawned worker died again (the bottom of the crash ladder).
+    pub static CODEGEN_WORKER_FALLBACKS: Counter = Counter::new("codegen.worker_fallbacks");
+    /// Warm workers retired: idle past the reap deadline, or holding a
+    /// binary whose content-addressed cache key went stale.
+    pub static CODEGEN_WORKER_REAPED: Counter = Counter::new("codegen.worker_reaped");
 
     /// VM frames executed (`step_frame` calls, stolen or not).
     pub static VM_FRAMES: Counter = Counter::new("vm.frames");
@@ -506,7 +518,7 @@ pub mod well_known {
 }
 
 /// Every well-known counter, for enumeration by reports.
-pub fn known_counters() -> [&'static Counter; 62] {
+pub fn known_counters() -> [&'static Counter; 67] {
     use well_known::*;
     [
         &POOL_JOBS_SUBMITTED,
@@ -566,6 +578,11 @@ pub fn known_counters() -> [&'static Counter; 62] {
         &CODEGEN_TOOLCHAIN_MISSING,
         &CODEGEN_CACHE_HITS,
         &CODEGEN_CACHE_MISSES,
+        &CODEGEN_WORKER_SPAWNS,
+        &CODEGEN_WORKER_FRAMES,
+        &CODEGEN_WORKER_RESTARTS,
+        &CODEGEN_WORKER_FALLBACKS,
+        &CODEGEN_WORKER_REAPED,
         &VM_PROCESSES_SPAWNED,
         &TRACE_SPANS_DROPPED,
         &TRACE_OVERHEAD_NS,

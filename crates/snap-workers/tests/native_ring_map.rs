@@ -1,0 +1,179 @@
+//! The persistent native tier seen from the execution ladder: a ring
+//! registered with `register_native_map` and mapped over a large
+//! all-numeric list under `NativePolicy::Auto` must stream columnar
+//! chunks through the warm worker — and produce output **identical**
+//! to `NativePolicy::Disabled` (the in-process batch tier), whether
+//! the worker is healthy, crashing, or absent. Auto-skips when no C
+//! toolchain is present (Auto simply finds no registered program).
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use snap_ast::builder::*;
+use snap_ast::{Ring, Value};
+use snap_codegen::harness::Harness;
+use snap_codegen::worker::{
+    native_pool, register_native_map, register_native_program, NativeProgram, WorkerKind,
+};
+use snap_trace::well_known;
+use snap_workers::{ring_map, NativePolicy, RingMapOptions, NATIVE_MIN_ITEMS};
+
+/// Serializes the counter-delta tests within this binary.
+fn chaos_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn harness() -> Option<Harness> {
+    match Harness::detect() {
+        Ok(h) => Some(h),
+        Err(e) => {
+            eprintln!("codegen.toolchain_missing: {e} — skipping native ring_map test");
+            None
+        }
+    }
+}
+
+fn climate_ring() -> Arc<Ring> {
+    // (x * 1.8) + 32 — the paper's running C-to-F example.
+    Arc::new(Ring::reporter_with_params(
+        vec!["x".into()],
+        add(mul(var("x"), num(1.8)), num(32.0)),
+    ))
+}
+
+fn big_list(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| Value::Number(i as f64 * 0.31 - 40.0))
+        .collect()
+}
+
+fn map_with(ring: &Arc<Ring>, items: Vec<Value>, native: NativePolicy) -> Vec<Value> {
+    ring_map(
+        Arc::clone(ring),
+        items,
+        RingMapOptions {
+            workers: 4,
+            native,
+            ..RingMapOptions::default()
+        },
+    )
+    .expect("ring_map succeeds")
+}
+
+/// Healthy path: Auto routes through the warm worker (worker_frames
+/// ticks), and the output is identical to the in-process batch tier.
+#[test]
+fn auto_routes_large_chunks_through_the_warm_worker() {
+    if harness().is_none() {
+        return;
+    }
+    let _guard = chaos_lock();
+    let ring = climate_ring();
+    register_native_map(&ring).expect("ring compiles");
+    let items = big_list(NATIVE_MIN_ITEMS * 3);
+    let frames_before = well_known::CODEGEN_WORKER_FRAMES.get();
+    let native = map_with(&ring, items.clone(), NativePolicy::Auto);
+    let frames_delta = well_known::CODEGEN_WORKER_FRAMES.get() - frames_before;
+    let batch = map_with(&ring, items, NativePolicy::Disabled);
+    assert!(
+        frames_delta >= 1,
+        "Auto over {} items sent no frame to the warm worker",
+        NATIVE_MIN_ITEMS * 3
+    );
+    assert_eq!(native, batch, "persistent native must equal the batch tier");
+}
+
+/// An unregistered ring under Auto is a plain columnar map: no frames,
+/// no fallbacks, same results.
+#[test]
+fn unregistered_ring_is_unaffected_by_auto() {
+    let ring = Arc::new(Ring::reporter_with_params(
+        vec!["x".into()],
+        mul(var("x"), num(7.0)),
+    ));
+    let items = big_list(NATIVE_MIN_ITEMS * 2);
+    let auto = map_with(&ring, items.clone(), NativePolicy::Auto);
+    let off = map_with(&ring, items, NativePolicy::Disabled);
+    assert_eq!(auto, off);
+}
+
+/// Small lists never pay the frame cost: below NATIVE_MIN_ITEMS the
+/// chunks stay in-process even for a registered ring.
+#[test]
+fn small_lists_stay_in_process() {
+    if harness().is_none() {
+        return;
+    }
+    let _guard = chaos_lock();
+    let ring = Arc::new(Ring::reporter_with_params(
+        vec!["x".into()],
+        sub(var("x"), num(0.25)),
+    ));
+    register_native_map(&ring).expect("ring compiles");
+    let items = big_list(NATIVE_MIN_ITEMS / 2);
+    let frames_before = well_known::CODEGEN_WORKER_FRAMES.get();
+    let native = map_with(&ring, items.clone(), NativePolicy::Auto);
+    assert_eq!(
+        well_known::CODEGEN_WORKER_FRAMES.get(),
+        frames_before,
+        "an undersized map must not frame out"
+    );
+    let batch = map_with(&ring, items, NativePolicy::Disabled);
+    assert_eq!(native, batch);
+}
+
+/// The second half of the crash ladder, end to end: a worker that dies
+/// on every frame (respawn also fails to answer) must degrade to the
+/// in-process batch tier per chunk — identical results, only counters
+/// differ (`worker_restarts`, then `worker_fallbacks`).
+#[test]
+fn dead_worker_falls_back_to_batch_tier_with_identical_results() {
+    let Some(harness) = harness() else { return };
+    let _guard = chaos_lock();
+    const CRASH_ALWAYS_C: &str = r#"#include <stdio.h>
+#include <stdlib.h>
+int main(int argc, char *argv[]) {
+    (void) argc;
+    (void) argv;
+    printf("snap-native-worker 1 map\n");
+    fflush(stdout);
+    return 1;
+}
+"#;
+    let compiled = harness
+        .compile(
+            "ring_map_crash_always",
+            &[("crash.c", CRASH_ALWAYS_C)],
+            false,
+        )
+        .expect("crash-always source compiles");
+    let ring = climate_ring();
+    register_native_program(
+        &ring,
+        NativeProgram {
+            name: "ring_map_crash_always".into(),
+            binary: compiled.binary,
+            kind: WorkerKind::Map,
+        },
+    );
+    let items = big_list(NATIVE_MIN_ITEMS * 2);
+    let restarts_before = well_known::CODEGEN_WORKER_RESTARTS.get();
+    let fallbacks_before = well_known::CODEGEN_WORKER_FALLBACKS.get();
+    let with_crashes = map_with(&ring, items.clone(), NativePolicy::Auto);
+    let batch = map_with(&ring, items, NativePolicy::Disabled);
+    assert_eq!(
+        with_crashes, batch,
+        "a crashing worker must never change results"
+    );
+    assert!(
+        well_known::CODEGEN_WORKER_RESTARTS.get() > restarts_before,
+        "the ladder tried a respawn"
+    );
+    assert!(
+        well_known::CODEGEN_WORKER_FALLBACKS.get() > fallbacks_before,
+        "the chunk was salvaged in-process"
+    );
+    native_pool().retire("ring_map_crash_always");
+}

@@ -3,8 +3,8 @@
 # ablate_sched) plus the ring-evaluation benches (ring_eval,
 # word_count_combine, batch_eval) and the telemetry-overhead pair
 # (trace_overhead), the streaming-tier pair (stream_throughput,
-# stream_latency), and the native-vs-batch tier comparison
-# (native_vs_batch), and writes a machine-readable JSON of their median
+# stream_latency), and the native-tier comparisons (native_vs_batch,
+# native_amortized), and writes a machine-readable JSON of their median
 # per-iteration times, so future PRs can compare against this PR's
 # numbers without re-reading bench logs.
 #
@@ -24,7 +24,7 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 for bench in pool_reuse ablate_sched ring_eval word_count_combine batch_eval trace_overhead \
-             stream_throughput stream_latency native_vs_batch; do
+             stream_throughput stream_latency native_vs_batch native_amortized; do
   echo "==> cargo bench -p bench --bench $bench" >&2
   cargo bench -p bench --bench "$bench" 2>/dev/null | tee /dev/stderr | grep "time:" >>"$RAW"
 done

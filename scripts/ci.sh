@@ -100,6 +100,11 @@ cargo test --release -p snap-codegen --test compile_smoke -- --nocapture
 echo "==> codegen: differential proptest, random rings native vs oracle tiers"
 cargo test --release -p snap-codegen --test codegen_diff -- --nocapture
 
+echo "==> codegen: persistent-worker differential + chaos (frames, crash ladder, staleness)"
+cargo test --release -p snap-codegen --test native_worker_diff -- --nocapture
+cargo test --release -p snap-codegen --test native_worker_chaos -- --nocapture
+cargo test --release -p snap-workers --test native_ring_map -- --nocapture
+
 echo "==> codegen_check: compile + run + tier equivalence on every scenario"
 mkdir -p target/ci/codegen
 cargo run --release -p bench --bin codegen_check -- \
@@ -113,6 +118,21 @@ cargo run --release -p bench --bin trace_check -- \
   target/ci/codegen/codegen_check.trace.json.report.json \
   --require-counter codegen.runs \
   --require-counter codegen.native_elems
+
+echo "==> codegen_check --persistent: every scenario through the warm-worker path"
+mkdir -p target/ci/codegen-persistent
+cargo run --release -p bench --bin codegen_check -- \
+  --require-toolchain \
+  --persistent \
+  --out target/ci/codegen-persistent \
+  --trace target/ci/codegen-persistent/codegen_check.trace.json
+
+echo "==> validate persistent trace + assert warm-worker frames happened"
+cargo run --release -p bench --bin trace_check -- \
+  target/ci/codegen-persistent/codegen_check.trace.json \
+  target/ci/codegen-persistent/codegen_check.trace.json.report.json \
+  --require-counter codegen.worker_spawns \
+  --require-counter codegen.worker_frames
 
 echo "==> chaos: fault-injection stress under a fixed seed"
 mkdir -p target/ci/chaos
